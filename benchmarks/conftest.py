@@ -1,0 +1,71 @@
+"""Shared setup for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+micro scale (tiny system, two contrasting workloads, few writes) so the
+whole suite completes in minutes, and asserts the figure's headline
+*shape* — who wins and roughly by how much — on the produced rows.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+For paper-scale numbers use the CLI instead::
+
+    python -m repro.experiments run all --scale default
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import (
+    CacheConfig,
+    CacheLevelConfig,
+    CPUConfig,
+    SystemConfig,
+)
+from repro.experiments.base import RunScale, clear_sim_cache
+from repro.experiments.registry import get_experiment
+from repro.trace.generator import clear_trace_cache, generate_trace
+
+#: The benchmark scale: one write-heavy and one read-heavy workload.
+BENCH_SCALE = RunScale("bench", 60, 12_000, ("mcf_m", "tig_m"))
+
+
+def bench_config(seed: int = 1) -> SystemConfig:
+    caches = CacheConfig(
+        l1=CacheLevelConfig(16 * 1024, 4, 64, 2),
+        l2=CacheLevelConfig(256 * 1024, 4, 64, 7),
+        l3=CacheLevelConfig(2 * 1024 * 1024, 8, 256, 200),
+    )
+    return SystemConfig(cpu=CPUConfig(cores=2), caches=caches, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_traces(config):
+    """Generate the shared traces once so benchmarks measure the
+    experiment pipeline, not first-touch trace construction."""
+    for workload in BENCH_SCALE.workloads:
+        generate_trace(
+            config, workload,
+            n_pcm_writes=BENCH_SCALE.n_pcm_writes,
+            max_refs_per_core=BENCH_SCALE.max_refs_per_core,
+        )
+    yield
+    clear_sim_cache()
+    clear_trace_cache()
+
+
+def run_experiment(exp_id: str, config: SystemConfig):
+    """Fresh (uncached) run of one experiment at the benchmark scale."""
+    clear_sim_cache()
+    return get_experiment(exp_id)(config, BENCH_SCALE)
+
+
+def gmean_row(result):
+    return result.row_by("workload", "gmean")

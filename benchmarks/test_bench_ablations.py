@@ -1,0 +1,51 @@
+"""Benchmarks for the ablation experiments (DESIGN.md's design-choice
+studies beyond the paper's figures)."""
+
+from .conftest import run_experiment
+
+
+def test_abl_mr_grouping(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_mr", config), rounds=1, iterations=1,
+    )
+    row = result.row_by("workload", "gmean")
+    # All three variants must beat the baseline; the grouping choice is
+    # a refinement, not a cliff.
+    for scheme in ("ipm", "fpb", "fpb-mrchanged"):
+        assert float(row[scheme]) > 0.9
+    assert (
+        abs(float(row["fpb-mrchanged"]) - float(row["fpb"]))
+        < 0.5 * float(row["fpb"])
+    )
+
+
+def test_abl_preread(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_preread", config), rounds=1, iterations=1,
+    )
+    mean = float(result.row_by("workload", "mean")["overhead_%"])
+    # A free pre-read can help but not by an order of magnitude.
+    assert -10.0 <= mean <= 50.0
+
+
+def test_abl_flip_n_write(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_fnw", config), rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        # Section 7's claim: limited MLC benefit on realistic patterns.
+        assert 0.0 <= float(row["mlc_saving_%"]) < 30.0
+        assert float(row["mlc_flipnwrite"]) <= float(row["mlc_plain"]) + 32
+
+
+def test_abl_preset(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_preset", config), rounds=1, iterations=1,
+    )
+    row = result.row_by("workload", "gmean")
+    # PreSET's single-RESET writes dominate when power is free ...
+    assert float(row["ideal+preset"]) > float(row["ideal"])
+    # ... and budgets claw back a bigger share of its gain (Section 7).
+    plain_ratio = float(row["fpb"]) / float(row["ideal"])
+    preset_ratio = float(row["fpb+preset"]) / float(row["ideal+preset"])
+    assert preset_ratio < plain_ratio + 0.05

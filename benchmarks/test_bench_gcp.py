@@ -1,0 +1,67 @@
+"""Benchmarks for the FPB-GCP experiments: Figures 11-15 and Table 3."""
+
+from .conftest import gmean_row, run_experiment
+
+
+def test_fig11_gcp_efficiency(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11", config), rounds=1, iterations=1,
+    )
+    row = gmean_row(result)
+    # Higher GCP efficiency never hurts; all GCP variants ~>= baseline.
+    assert row["gcp-ne-0.95"] >= row["gcp-ne-0.5"] - 0.05
+    assert row["gcp-ne-0.95"] >= 0.95
+
+
+def test_fig12_mapping(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig12", config), rounds=1, iterations=1,
+    )
+    row = gmean_row(result)
+    # Advanced mappings beat naive; BIM is at least VIM-grade.
+    assert row["gcp-bim-0.7"] >= row["gcp-ne-0.7"] - 0.05
+    assert row["gcp-vim-0.7"] >= row["gcp-ne-0.7"] - 0.05
+
+
+def test_fig13_max_tokens(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig13", config), rounds=1, iterations=1,
+    )
+    row = result.row_by("workload", "max")
+    # The pump never exceeds its capacity (one LCP's input power).
+    cap = config.power.dimm_tokens / config.memory.n_chips
+    assert all(
+        float(row[col]) <= cap + 1e-6 for col in result.columns[1:]
+    )
+
+
+def test_fig14_avg_tokens(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig14", config), rounds=1, iterations=1,
+    )
+    row = result.row_by("workload", "avg")
+    # Advanced mappings reduce how much GCP power writes request.
+    assert row["BIM-0.7"] <= row["NE-0.7"] + 1e-6
+
+
+def test_fig15_bim_sweep(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig15", config), rounds=1, iterations=1,
+    )
+    assert len(result.rows) == 7
+    top = result.rows[0]      # efficiency 0.7
+    bottom = result.rows[-1]  # efficiency 0.1
+    for workload in result.columns[1:]:
+        assert top[workload] >= bottom[workload] - 0.1
+
+
+def test_tab3_area(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("tab3", config), rounds=1, iterations=1,
+    )
+    overheads = {row["scheme"]: row["overhead_%"] for row in result.rows}
+    gcp_overheads = [
+        v for k, v in overheads.items() if k.startswith("GCP")
+    ]
+    # Table 3's claim: every GCP sizing is far below 2xLocal's 100%.
+    assert all(v < 100.0 for v in gcp_overheads)

@@ -1,0 +1,131 @@
+"""Performance benchmarks of the simulator kernel itself.
+
+Unlike the figure benches (which regenerate paper results), these track
+the library's own hot paths so performance regressions are visible:
+event dispatch, write-operation planning, token accounting, cache
+accesses and trace generation.
+"""
+
+import numpy as np
+
+from repro.core.policies.base import PowerManager
+from repro.core.write_op import WriteOperation
+from repro.pcm.dimm import DIMM
+from repro.pcm.mapping import make_mapping
+from repro.sim.events import SimEngine
+from repro.trace.generator import clear_trace_cache, generate_trace
+
+from .conftest import bench_config
+
+
+def test_event_dispatch_rate(benchmark):
+    """Dispatch 100k chained events through the heap."""
+
+    def run():
+        engine = SimEngine()
+        count = [0]
+
+        def tick(t):
+            count[0] += 1
+            if count[0] < 100_000:
+                engine.schedule_after(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_write_op_planning(benchmark, config):
+    """Build 500 write operations with per-chip iteration matrices."""
+    dimm = DIMM(config)
+    rng = np.random.default_rng(1)
+    payloads = [
+        (
+            np.sort(rng.choice(1024, size=200, replace=False)),
+            rng.integers(1, 16, size=200),
+        )
+        for _ in range(500)
+    ]
+
+    def run():
+        total = 0
+        for i, (idx, counts) in enumerate(payloads):
+            w = WriteOperation(i, 0, 0, idx, counts, dimm.mapping,
+                               mr_splits=3)
+            total += w.total_iterations
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_token_accounting_throughput(benchmark, config):
+    """Issue/advance/complete 200 writes through the FPB manager."""
+    rng = np.random.default_rng(2)
+    payloads = [
+        (
+            np.sort(rng.choice(1024, size=120, replace=False)),
+            rng.integers(1, 8, size=120),
+        )
+        for _ in range(200)
+    ]
+
+    def run():
+        dimm = DIMM(config)
+        manager = PowerManager(
+            config, dimm, enforce_dimm=True, enforce_chip=True,
+            ipm=True, mr_splits=3, gcp_enabled=True,
+        )
+        done = 0
+        t = 0
+        for i, (idx, counts) in enumerate(payloads):
+            w = WriteOperation(i, 0, 0, idx, counts, dimm.mapping)
+            if not manager.try_issue(w, t):
+                continue
+            i_iter = 0
+            while True:
+                outcome = manager.on_iteration_end(w, i_iter, t)
+                t += 1
+                if outcome == "done":
+                    done += 1
+                    break
+                if outcome == "stall":
+                    manager.release_all(w, t)
+                    break
+                i_iter += 1
+        return done
+
+    assert benchmark(run) > 0
+
+
+def test_mapping_lookup_rate(benchmark):
+    """Per-chip histogramming of one million cell lookups."""
+    mapping = make_mapping("bim", 1024, 8)
+    rng = np.random.default_rng(3)
+    batches = [
+        np.sort(rng.choice(1024, size=250, replace=False))
+        for _ in range(4000)
+    ]
+
+    def run():
+        total = 0
+        for idx in batches:
+            total += int(mapping.counts_by_chip(idx).max())
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_trace_generation_rate(benchmark, config):
+    """End-to-end trace generation (cache hierarchy + device model)."""
+
+    def run():
+        clear_trace_cache()
+        trace = generate_trace(
+            config, "mcf_m", n_pcm_writes=40, max_refs_per_core=10_000,
+            use_cache=False,
+        )
+        return trace.stats.writes
+
+    assert benchmark(run) > 0

@@ -1,0 +1,37 @@
+"""Benchmarks for the motivation experiments: Figure 2 (cell changes),
+Figure 4 (heuristics) and Figure 10 (write-burst residency)."""
+
+from .conftest import gmean_row, run_experiment
+
+
+def test_fig02_cell_changes(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig2", config), rounds=1, iterations=1,
+    )
+    row = gmean_row(result)
+    # Figure 2's shapes: MLC < SLC, and larger lines change more cells.
+    assert row["256B-mlc"] < row["256B-slc"]
+    assert row["64B-mlc"] < row["128B-mlc"] < row["256B-mlc"]
+
+
+def test_fig04_heuristics(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4", config), rounds=1, iterations=1,
+    )
+    row = gmean_row(result)
+    # DIMM+chip loses more than DIMM-only; bigger local pumps recover;
+    # PWL stays near DIMM+chip. (Ideal-relative bounds are left to the
+    # paper-scale runs: at micro scale power-throttled schemes can edge
+    # past Ideal by delaying writes that block reads.)
+    assert row["dimm+chip"] <= row["dimm-only"] * 1.05
+    assert row["2xlocal"] >= row["dimm+chip"]
+    assert abs(row["pwl"] - row["dimm+chip"]) < 0.25
+
+
+def test_fig10_write_burst(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10", config), rounds=1, iterations=1,
+    )
+    mean = result.row_by("workload", "mean")["burst_fraction"]
+    # The paper's motivation: a large share of cycles sits in bursts.
+    assert 0.05 < mean <= 1.0

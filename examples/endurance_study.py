@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Endurance study: does intra-line wear leveling balance cell wear?
+
+The paper's PWL strawman (Section 2.2) barely improves *performance*
+(+2%, Figure 4), but wear leveling's real job is lifetime. This example
+takes real write records from a generated trace (integer data: the same
+low-order cells churn on every rewrite) and replays each hot line many
+times — as a long-running program would — with and without PWL's
+rotation, comparing the intra-line wear imbalance that determines when
+a line's most-worn cell dies.
+
+Run:  python examples/endurance_study.py
+"""
+
+from repro import baseline_config
+from repro.core import get_scheme
+from repro.pcm import DIMM, WearTracker
+from repro.trace import generate_trace
+
+WORKLOAD = "mcf_m"
+HOT_LINES = 24          # distinct lines to study
+REWRITES = 400          # times each hot line is rewritten
+
+
+def main() -> None:
+    config = baseline_config()
+    trace = generate_trace(
+        config, WORKLOAD, n_pcm_writes=300, max_refs_per_core=80_000,
+    )
+    writes = [
+        acc for stream in trace.per_core for acc in stream
+        if acc.kind == "W" and acc.n_cells_changed
+    ][:HOT_LINES]
+
+    print(f"replaying {len(writes)} hot lines x {REWRITES} rewrites "
+          f"({WORKLOAD!r}, integer write patterns)\n")
+
+    results = {}
+    for scheme_name in ("dimm+chip", "pwl"):
+        scheme = get_scheme(scheme_name)
+        cfg = scheme.apply_to_config(config)
+        manager = scheme.build_manager(cfg, DIMM(cfg))
+        tracker = WearTracker(cfg.cells_per_line)
+        for _ in range(REWRITES):
+            for acc in writes:
+                offset = manager.line_offset(acc.line_addr)
+                tracker.record_write(acc.line_addr, acc.changed_idx, offset)
+        results[scheme_name] = tracker
+        print(
+            f"{scheme_name:10s} max-wear={tracker.max_wear():5d} "
+            f"intra-line imbalance={tracker.mean_imbalance():6.2f}x"
+        )
+
+    base = results["dimm+chip"]
+    pwl = results["pwl"]
+    gain = base.mean_imbalance() / pwl.mean_imbalance()
+    print(
+        f"\nFor the same write volume, PWL's rotation spreads each "
+        f"line's wear\n{gain:.1f}x more evenly — a line dies when its "
+        f"most-worn cell dies, so\nlifetime extends by roughly that "
+        f"factor. Performance, meanwhile, stays\nwithin ~2% of DIMM+chip "
+        f"(Figure 4): wear leveling is a lifetime tool,\nnot a power "
+        f"fix, which is why the paper keeps it orthogonal to FPB."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Flip-N-Write on MLC: checking the paper's Section 7 remark.
+
+Hay et al.'s 560-token budget assumes Flip-N-Write [4] halves the
+worst-case cell changes; the FPB paper notes the trick "has limited
+benefit for MLC PCM due to the additional states used in MLC". This
+study measures the encoding on the three data-kind write models and on
+the adversarial all-complement pattern where Flip-N-Write shines.
+
+Run:  python examples/flip_n_write_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.pcm import FlipNWrite, flip_savings_sample
+from repro.rng import make_rng
+from repro.trace.synthetic.data import LINE_KINDS, make_line_pair
+
+LINE_BYTES = 256
+N_LINES = 300
+
+
+def main() -> None:
+    rng = make_rng(11, "fnw-study")
+    rows = []
+    for kind in LINE_KINDS:
+        old, new = make_line_pair(kind, rng, N_LINES, LINE_BYTES)
+        plain, encoded = flip_savings_sample(old, new)
+        rows.append({
+            "pattern": f"{kind} (realistic)",
+            "plain cell changes": plain,
+            "with Flip-N-Write": encoded,
+            "saving %": 100.0 * (1.0 - encoded / plain),
+        })
+
+    # The adversarial pattern: every block written with its complement.
+    old = rng.integers(0, 256, (N_LINES, LINE_BYTES), dtype=np.uint8)
+    new = np.bitwise_not(old)
+    plain, encoded = flip_savings_sample(old, new)
+    rows.append({
+        "pattern": "full complement (best case)",
+        "plain cell changes": plain,
+        "with Flip-N-Write": encoded,
+        "saving %": 100.0 * (1.0 - encoded / plain),
+    })
+
+    print(render_table(
+        ["pattern", "plain cell changes", "with Flip-N-Write", "saving %"],
+        rows,
+        title="Flip-N-Write on 2-bit MLC (256B lines, 32-cell blocks)",
+        precision=1,
+    ))
+    print(
+        "\nReading: realistic MLC write patterns save only a few percent"
+        "\n(2-bit inversion rarely matches partial-word updates), while"
+        "\nthe complement pattern collapses to ~flag-only writes. This is"
+        "\nthe paper's 'limited benefit for MLC PCM' (Section 7) — and why"
+        "\nFPB budgets the iterations instead of re-encoding the data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""FPB-GCP design space: cell mapping x pump efficiency x area.
+
+For a mixed workload, sweeps the global charge pump's efficiency and
+the cell-to-chip mapping (naive / VIM / BIM), reporting speedup over
+the DIMM+chip baseline, the peak GCP output observed, and the pump
+area that peak implies (Table 3's sizing rule: area ~ max output /
+efficiency, from Eq. 1).
+
+Run:  python examples/gcp_design_space.py
+"""
+
+from repro import baseline_config, run_schemes
+from repro.analysis import render_table
+from repro.power import pump_input_tokens
+
+WORKLOAD = "mix_1"
+MAPPINGS = ("ne", "vim", "bim")
+EFFICIENCIES = (0.95, 0.7, 0.5)
+
+
+def main() -> None:
+    config = baseline_config()
+    schemes = ["dimm+chip"] + [
+        f"gcp-{m}-{e}" for m in MAPPINGS for e in EFFICIENCIES
+    ]
+    print(f"sweeping {len(schemes) - 1} GCP designs on {WORKLOAD!r} ...\n")
+    results = run_schemes(
+        config, WORKLOAD, schemes,
+        n_pcm_writes=600, max_refs_per_core=120_000,
+    )
+    base = results["dimm+chip"]
+
+    rows = []
+    for mapping in MAPPINGS:
+        for eff in EFFICIENCIES:
+            r = results[f"gcp-{mapping}-{eff}"]
+            peak = r.stats.gcp_peak_output
+            rows.append({
+                "mapping": mapping.upper(),
+                "E_GCP": eff,
+                "speedup": r.speedup_over(base),
+                "peak GCP tokens": peak,
+                "pump area (tokens)": pump_input_tokens(peak, eff),
+                "avg tokens/write": r.stats.mean_gcp_tokens_per_write,
+            })
+    print(render_table(
+        ["mapping", "E_GCP", "speedup", "peak GCP tokens",
+         "pump area (tokens)", "avg tokens/write"],
+        rows,
+        title=f"GCP design space on {WORKLOAD} (vs DIMM+chip)",
+        precision=2,
+    ))
+    print(
+        "\nReading: BIM needs the least pump area for the most speedup —"
+        "\nthe paper's Figure 12/13 and Table 3 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

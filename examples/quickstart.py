@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: how much does FPB help over state-of-the-art budgeting?
+
+Replays one write-intensive workload (8x lbm) under the paper's
+baseline power management (DIMM + chip budgets, Hay et al. [8]) and
+under full FPB (GCP-BIM-0.7 + iteration power management + Multi-RESET),
+plus the no-power-limit Ideal as an upper bound.
+
+Run:  python examples/quickstart.py  [workload]
+"""
+
+import sys
+
+from repro import baseline_config, run_schemes
+
+WORKLOAD = sys.argv[1] if len(sys.argv) > 1 else "lbm_m"
+SCHEMES = ["ideal", "dimm-only", "dimm+chip", "fpb"]
+
+
+def main() -> None:
+    config = baseline_config()
+    print(f"simulating {WORKLOAD!r} under {SCHEMES} ...\n")
+    results = run_schemes(
+        config, WORKLOAD, SCHEMES,
+        n_pcm_writes=800, max_refs_per_core=150_000,
+    )
+    base = results["dimm+chip"]
+
+    header = (
+        f"{'scheme':12s} {'CPI':>10s} {'speedup':>9s} "
+        f"{'write tput':>11s} {'burst %':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SCHEMES:
+        r = results[name]
+        print(
+            f"{name:12s} {r.cpi:10.2f} {r.speedup_over(base):9.2f} "
+            f"{r.throughput_ratio(base):11.2f} "
+            f"{100 * r.stats.burst_fraction:8.1f}"
+        )
+
+    fpb = results["fpb"]
+    ideal = results["ideal"]
+    print(
+        f"\nFPB recovers to {100 * ideal.cpi / fpb.cpi:.0f}% of the "
+        f"no-power-limit Ideal"
+        f" (paper: within 12.2% on the full workload set)."
+    )
+
+
+if __name__ == "__main__":
+    main()

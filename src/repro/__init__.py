@@ -1,0 +1,91 @@
+"""repro — a full reproduction of *FPB: Fine-grained Power Budgeting to
+Improve Write Throughput of Multi-level Cell Phase Change Memory*
+(Jiang, Zhang, Childers, Yang — MICRO 2012).
+
+Quickstart::
+
+    from repro import baseline_config, run_schemes
+
+    config = baseline_config()
+    results = run_schemes(config, "lbm_m", ["dimm+chip", "fpb"])
+    print(results["fpb"].speedup_over(results["dimm+chip"]))
+
+Layers (see DESIGN.md for the full map):
+
+* :mod:`repro.pcm` — MLC PCM device models (cells, P&V write model,
+  chips/banks/DIMM, cell-to-chip mappings).
+* :mod:`repro.power` — power tokens, charge pumps, the GCP.
+* :mod:`repro.core` — the paper's contribution: write-operation power
+  schedules and the budgeting policies (Ideal .. DIMM+chip .. FPB).
+* :mod:`repro.cache` / :mod:`repro.trace` — the trace-driven frontend.
+* :mod:`repro.sim` — the event-driven memory-subsystem simulator.
+* :mod:`repro.experiments` — every table and figure of the evaluation.
+"""
+
+from .config import (
+    SystemConfig,
+    baseline_config,
+    rdopt_config,
+    slc_config,
+)
+from .core import (
+    PowerManager,
+    SchemeSpec,
+    WriteOperation,
+    WriteState,
+    available_schemes,
+    get_scheme,
+)
+from .errors import (
+    BudgetExceededError,
+    ConfigError,
+    ExperimentError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TokenError,
+    TraceError,
+)
+from .experiments import available_experiments, get_experiment
+from .sim import SimResult, run_schemes, run_simulation
+from .trace import (
+    ALL_WORKLOADS,
+    QUICK_WORKLOADS,
+    available_workloads,
+    generate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BudgetExceededError",
+    "ConfigError",
+    "ExperimentError",
+    "MappingError",
+    "PowerManager",
+    "QUICK_WORKLOADS",
+    "ReproError",
+    "SchedulingError",
+    "SchemeSpec",
+    "SimResult",
+    "SimulationError",
+    "SystemConfig",
+    "TokenError",
+    "TraceError",
+    "WriteOperation",
+    "WriteState",
+    "available_experiments",
+    "available_schemes",
+    "available_workloads",
+    "baseline_config",
+    "generate_trace",
+    "get_experiment",
+    "get_scheme",
+    "rdopt_config",
+    "run_schemes",
+    "run_simulation",
+    "slc_config",
+    "__version__",
+]

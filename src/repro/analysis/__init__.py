@@ -1,0 +1,32 @@
+"""Result analysis: metrics and plain-text report rendering."""
+
+from .confidence import (
+    Estimate,
+    confidence_table,
+    metric_confidence,
+    speedup_confidence,
+)
+from .metrics import gmean, normalize, percent_change, speedup
+from .report import (
+    format_value,
+    render_bars,
+    render_kv,
+    render_table,
+    series_to_rows,
+)
+
+__all__ = [
+    "Estimate",
+    "confidence_table",
+    "format_value",
+    "gmean",
+    "normalize",
+    "percent_change",
+    "render_bars",
+    "render_kv",
+    "metric_confidence",
+    "render_table",
+    "series_to_rows",
+    "speedup_confidence",
+    "speedup",
+]

@@ -1,0 +1,127 @@
+"""Multi-seed confidence estimation.
+
+The device model and synthetic workloads are stochastic; one seed gives
+one sample of each metric. This module runs a scheme comparison across
+seeds and reports mean, standard deviation and min/max so experiment
+readers can tell signal from noise (the paper reports single numbers;
+we can do better since our traces are cheap to regenerate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..config.system import SystemConfig
+from ..errors import ExperimentError
+from ..sim.runner import run_simulation
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Summary statistics of one metric across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Estimate":
+        if not samples:
+            raise ExperimentError("no samples")
+        n = len(samples)
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / max(1, n - 1)
+        return cls(
+            mean=mean, std=math.sqrt(var),
+            minimum=min(samples), maximum=max(samples), n=n,
+        )
+
+    @property
+    def stderr(self) -> float:
+        return self.std / math.sqrt(self.n) if self.n else 0.0
+
+    def interval95(self) -> "tuple[float, float]":
+        """A ~95% normal-approximation confidence interval on the mean."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} ± {self.std:.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}] (n={self.n})"
+        )
+
+
+def speedup_confidence(
+    config: SystemConfig,
+    workload: str,
+    scheme: str,
+    *,
+    baseline: str = "dimm+chip",
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    n_pcm_writes: int = 400,
+    max_refs_per_core: int = 80_000,
+) -> Estimate:
+    """Speedup of ``scheme`` over ``baseline`` across fresh seeds.
+
+    Each seed regenerates the trace (new addresses, data and iteration
+    draws), so the spread captures workload *and* device variance.
+    """
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    samples: List[float] = []
+    for seed in seeds:
+        seeded = replace(config, seed=seed)
+        base = run_simulation(
+            seeded, workload, baseline,
+            n_pcm_writes=n_pcm_writes, max_refs_per_core=max_refs_per_core,
+        )
+        tech = run_simulation(
+            seeded, workload, scheme,
+            n_pcm_writes=n_pcm_writes, max_refs_per_core=max_refs_per_core,
+        )
+        samples.append(tech.speedup_over(base))
+    return Estimate.from_samples(samples)
+
+
+def metric_confidence(
+    config: SystemConfig,
+    workload: str,
+    scheme: str,
+    metric: str,
+    *,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    n_pcm_writes: int = 400,
+    max_refs_per_core: int = 80_000,
+) -> Estimate:
+    """Any :class:`~repro.sim.stats.SimStats` property across seeds
+    (e.g. ``"burst_fraction"``, ``"write_throughput"``)."""
+    samples: List[float] = []
+    for seed in seeds:
+        seeded = replace(config, seed=seed)
+        result = run_simulation(
+            seeded, workload, scheme,
+            n_pcm_writes=n_pcm_writes, max_refs_per_core=max_refs_per_core,
+        )
+        value = getattr(result.stats, metric, None)
+        if value is None:
+            raise ExperimentError(f"SimStats has no metric {metric!r}")
+        samples.append(float(value))
+    return Estimate.from_samples(samples)
+
+
+def confidence_table(
+    config: SystemConfig,
+    workload: str,
+    schemes: Sequence[str],
+    **kwargs,
+) -> Dict[str, Estimate]:
+    """Speedup estimates for several schemes at once."""
+    return {
+        scheme: speedup_confidence(config, workload, scheme, **kwargs)
+        for scheme in schemes
+    }

@@ -1,0 +1,42 @@
+"""Metric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from ..errors import ExperimentError
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = list(values)
+    if not values:
+        raise ExperimentError("gmean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ExperimentError(f"gmean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline entry's value."""
+    if baseline_key not in values:
+        raise ExperimentError(f"baseline {baseline_key!r} missing from {values}")
+    base = values[baseline_key]
+    if base == 0:
+        raise ExperimentError(f"baseline {baseline_key!r} is zero")
+    return {key: value / base for key, value in values.items()}
+
+
+def speedup(baseline_cpi: float, tech_cpi: float) -> float:
+    """Eq. 7: CPI_baseline / CPI_tech."""
+    if tech_cpi <= 0:
+        raise ExperimentError(f"non-positive CPI {tech_cpi}")
+    return baseline_cpi / tech_cpi
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Relative change in percent ((value-baseline)/baseline * 100)."""
+    if baseline == 0:
+        raise ExperimentError("percent change from a zero baseline")
+    return (value - baseline) / baseline * 100.0

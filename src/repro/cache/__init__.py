@@ -1,0 +1,12 @@
+"""Cache substrate: set-associative caches and the per-core hierarchy."""
+
+from .hierarchy import CoreHierarchy, PCM_READ, PCM_WRITE
+from .set_assoc import AccessResult, SetAssocCache
+
+__all__ = [
+    "AccessResult",
+    "CoreHierarchy",
+    "PCM_READ",
+    "PCM_WRITE",
+    "SetAssocCache",
+]

@@ -1,0 +1,108 @@
+"""Per-core L1/L2/DRAM-L3 functional hierarchy.
+
+One :class:`CoreHierarchy` filters a core's reference stream down to the
+PCM-visible accesses: L3 read misses (including write-allocate fetches)
+and dirty L3 evictions. It also accumulates the hit-latency cycles the
+core spends in the hierarchy between PCM accesses so the timing
+simulator can replay realistic gaps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..config.system import CacheConfig
+from .set_assoc import SetAssocCache
+
+#: PCM-visible event kinds.
+PCM_READ = "R"
+PCM_WRITE = "W"
+
+
+class CoreHierarchy:
+    """L1 -> L2 -> L3 for a single core (all private, Table 1)."""
+
+    def __init__(self, config: CacheConfig, core_id: int = 0,
+                 *, fetch_on_write_miss: bool = True):
+        self.config = config
+        self.core_id = core_id
+        #: Streaming stores skip the write-allocate fetch when False.
+        self.fetch_on_write_miss = fetch_on_write_miss
+        self.l1 = SetAssocCache(config.l1, f"core{core_id}.l1")
+        self.l2 = SetAssocCache(config.l2, f"core{core_id}.l2")
+        self.l3 = SetAssocCache(config.l3, f"core{core_id}.l3")
+        #: Hit-latency cycles accumulated since the last PCM access.
+        self.pending_cycles = 0
+        self.pcm_reads = 0
+        self.pcm_writes = 0
+        # Memo: the last L3 line marked dirty. Streaming stores hit the
+        # same line dozens of times in a row; skipping redundant
+        # touch_dirty lookups roughly halves generation time. Reset on
+        # every L3 miss (the memoized line may have been evicted).
+        self._last_dirty_line = -1
+
+    def take_pending_cycles(self) -> int:
+        """Drain the accumulated hit-latency cycles."""
+        cycles = self.pending_cycles
+        self.pending_cycles = 0
+        return cycles
+
+    def access(self, addr: int, is_write: bool) -> List[Tuple[str, int]]:
+        """Run one CPU reference through the hierarchy.
+
+        Returns the PCM events it generates, in issue order: any dirty
+        write-back first, then the demand read (if the L3 missed).
+
+        Dirtiness is propagated to the L3 line *at write time* rather
+        than via L1/L2 write-back chains. At L3-line granularity the two
+        are equivalent in steady state (a line written while resident
+        evicts dirty either way), and the instant form removes the
+        multi-million-instruction propagation warm-up the lagged form
+        would need (see DESIGN.md).
+        """
+        cfg = self.config
+        self.pending_cycles += cfg.l1.hit_latency_cycles
+        line = addr // cfg.l3.line_size * cfg.l3.line_size
+        r1 = self.l1.access(addr, is_write)
+        if r1.hit:
+            if is_write and line != self._last_dirty_line:
+                self.l3.touch_dirty(line)
+                self._last_dirty_line = line
+            return []
+
+        self.pending_cycles += cfg.l2.hit_latency_cycles
+        r2 = self.l2.access(addr, False)
+        if r2.hit:
+            if is_write and line != self._last_dirty_line:
+                self.l3.touch_dirty(line)
+                self._last_dirty_line = line
+            return []
+
+        self.pending_cycles += cfg.cpu_to_l3_cycles
+        events: List[Tuple[str, int]] = []
+        self._last_dirty_line = -1
+        if is_write and not self.fetch_on_write_miss:
+            if self.l3.touch_dirty(line):
+                self._last_dirty_line = line
+                return []
+            r3 = self.l3.install(line, dirty=True)
+            if r3.victim_dirty and r3.victim_addr is not None:
+                events.append((PCM_WRITE, r3.victim_addr))
+                self.pcm_writes += 1
+            return events
+
+        r3 = self.l3.access(line, is_write)
+        self.pending_cycles += cfg.l3.hit_latency_cycles
+        if r3.victim_dirty and r3.victim_addr is not None:
+            events.append((PCM_WRITE, r3.victim_addr))
+            self.pcm_writes += 1
+        if not r3.hit:
+            events.append((PCM_READ, line))
+            self.pcm_reads += 1
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreHierarchy(core={self.core_id}, "
+            f"l3_miss_rate={self.l3.miss_rate():.3f})"
+        )

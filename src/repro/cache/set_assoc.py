@@ -1,0 +1,162 @@
+"""Set-associative write-back cache (functional model).
+
+The trace generator runs CPU references through L1 -> L2 -> DRAM L3
+functionally (hits/misses/evictions, no timing); only L3 misses and
+dirty L3 evictions reach PCM, exactly as in the paper's trace-driven
+methodology (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config.system import CacheLevelConfig
+from ..errors import ConfigError
+
+
+class AccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "victim_addr", "victim_dirty")
+
+    def __init__(self, hit: bool, victim_addr: Optional[int], victim_dirty: bool):
+        self.hit = hit
+        #: Line address evicted to make room (misses only), if any.
+        self.victim_addr = victim_addr
+        self.victim_dirty = victim_dirty
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(hit={self.hit}, victim={self.victim_addr}, "
+            f"dirty={self.victim_dirty})"
+        )
+
+
+#: Shared results for the hot no-eviction paths (avoids allocating an
+#: AccessResult per hit — the dominant cost at trace-generation scale).
+HIT = AccessResult(True, None, False)
+MISS_NO_VICTIM = AccessResult(False, None, False)
+
+
+class SetAssocCache:
+    """LRU, write-back, write-allocate set-associative cache."""
+
+    def __init__(self, config: CacheLevelConfig, name: str = "cache"):
+        self.name = name
+        self.line_size = config.line_size
+        self.assoc = config.assoc
+        self.n_sets = config.n_sets
+        if self.n_sets <= 0:
+            raise ConfigError(f"{name}: no sets")
+        # set index -> MRU-ordered list of [tag, dirty].
+        self._sets: Dict[int, List[List[int]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_size
+        return line % self.n_sets, line // self.n_sets
+
+    def _line_addr(self, set_index: int, tag: int) -> int:
+        return (tag * self.n_sets + set_index) * self.line_size
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Look up (and on miss, allocate) the line containing ``addr``."""
+        line = addr // self.line_size
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets.setdefault(set_index, [])
+        for pos, entry in enumerate(ways):
+            if entry[0] == tag:
+                self.hits += 1
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                if is_write:
+                    ways[0][1] = True
+                return HIT
+
+        self.misses += 1
+        ways.insert(0, [tag, is_write])
+        if len(ways) <= self.assoc:
+            return MISS_NO_VICTIM
+        v_tag, v_dirty = ways.pop()
+        self.evictions += 1
+        if v_dirty:
+            self.dirty_evictions += 1
+        return AccessResult(
+            False, self._line_addr(set_index, v_tag), bool(v_dirty)
+        )
+
+    def touch_dirty(self, addr: int) -> bool:
+        """Mark a resident line dirty without changing LRU order (used for
+        write-backs arriving from an upper level). Returns True if the
+        line was resident."""
+        set_index, tag = self._locate(addr)
+        for entry in self._sets.get(set_index, ()):
+            if entry[0] == tag:
+                entry[1] = True
+                return True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Is the line holding ``addr`` resident?"""
+        set_index, tag = self._locate(addr)
+        return any(e[0] == tag for e in self._sets.get(set_index, ()))
+
+    def install(self, addr: int, dirty: bool) -> AccessResult:
+        """Allocate a line without counting a demand access (used for
+        no-fetch write allocation of streaming stores)."""
+        set_index, tag = self._locate(addr)
+        ways = self._sets.setdefault(set_index, [])
+        for pos, entry in enumerate(ways):
+            if entry[0] == tag:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                if dirty:
+                    ways[0][1] = True
+                return AccessResult(True, None, False)
+        ways.insert(0, [tag, dirty])
+        if len(ways) <= self.assoc:
+            return MISS_NO_VICTIM
+        v_tag, v_dirty = ways.pop()
+        self.evictions += 1
+        if v_dirty:
+            self.dirty_evictions += 1
+        return AccessResult(
+            False, self._line_addr(set_index, v_tag), bool(v_dirty)
+        )
+
+    def prefill(self, tags, dirty) -> None:
+        """Bulk-populate every set (warm start). ``tags`` and ``dirty``
+        are ``(n_sets, ways)`` arrays; column 0 becomes the MRU way, the
+        last column the first eviction victim. Statistics counters are
+        untouched."""
+        n_sets, ways = tags.shape
+        if n_sets != self.n_sets or ways > self.assoc:
+            raise ConfigError(
+                f"{self.name}: prefill shape {tags.shape} does not fit "
+                f"{self.n_sets} sets x {self.assoc} ways"
+            )
+        for s in range(n_sets):
+            self._sets[s] = [
+                [int(tags[s, k]), bool(dirty[s, k])] for k in range(ways)
+            ]
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses (hits + misses)."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Demand miss rate in [0, 1]."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssocCache({self.name}, sets={self.n_sets}, "
+            f"assoc={self.assoc}, line={self.line_size}B, "
+            f"miss_rate={self.miss_rate():.3f})"
+        )

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: fine-grained power budgeting."""
+
+from .policies import (
+    PowerManager,
+    SchemeSpec,
+    available_schemes,
+    get_scheme,
+)
+from .write_op import IterationKind, WriteOperation, WriteState
+
+__all__ = [
+    "IterationKind",
+    "PowerManager",
+    "SchemeSpec",
+    "WriteOperation",
+    "WriteState",
+    "available_schemes",
+    "get_scheme",
+]

@@ -1,0 +1,25 @@
+"""Power-budgeting policies: the paper's baselines and FPB schemes."""
+
+from .base import Holding, PowerManager, SRC_GCP, SRC_LCP, SRC_NONE
+from .registry import (
+    DEFAULT_FPB_EFFICIENCY,
+    DEFAULT_FPB_MAPPING,
+    DEFAULT_MR_SPLITS,
+    SchemeSpec,
+    available_schemes,
+    get_scheme,
+)
+
+__all__ = [
+    "DEFAULT_FPB_EFFICIENCY",
+    "DEFAULT_FPB_MAPPING",
+    "DEFAULT_MR_SPLITS",
+    "Holding",
+    "PowerManager",
+    "SRC_GCP",
+    "SRC_LCP",
+    "SRC_NONE",
+    "SchemeSpec",
+    "available_schemes",
+    "get_scheme",
+]

@@ -1,0 +1,332 @@
+"""Power-manager framework.
+
+A power manager decides, for every write operation, whether the next
+iteration's power demand can be satisfied, and tracks the tokens the
+write holds at DIMM level, per chip, and from the global charge pump.
+
+Acquisition is all-or-nothing across all pools: either the iteration
+gets its full allocation (DIMM + every chip segment, via LCP or GCP) or
+nothing is held. A write that cannot afford its next iteration *stalls
+holding zero tokens* — a stalled write applies no pulses and therefore
+draws no power — which makes deadlock impossible: running writes always
+finish and return their tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...config.system import SystemConfig
+from ...errors import SchedulingError
+from ...pcm.chip import TOKEN_EPS
+from ...pcm.dimm import DIMM
+from ...power.gcp import GCPGrant, GlobalChargePump
+from ...power.tokens import TokenPool
+from ..write_op import WriteOperation
+
+#: Segment power sources.
+SRC_NONE = 0
+SRC_LCP = 1
+SRC_GCP = 2
+
+
+class Holding:
+    """Tokens currently held on behalf of one write."""
+
+    __slots__ = ("dimm", "chip", "grants", "sources")
+
+    def __init__(self, n_chips: int):
+        self.dimm = 0.0
+        self.chip = np.zeros(n_chips, dtype=np.float64)
+        #: chip_id -> live GCP grant for that segment.
+        self.grants: Dict[int, GCPGrant] = {}
+        #: Per-chip power source, fixed for the write's lifetime once
+        #: chosen ("one segment uses either LCP or GCP", Section 4.1).
+        self.sources = np.zeros(n_chips, dtype=np.int8)
+
+    @property
+    def total(self) -> float:
+        return self.dimm
+
+
+class PowerManager:
+    """Base class: pool construction plus atomic acquire/release."""
+
+    #: Human-readable scheme name (set per instance by the registry).
+    name = "base"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        dimm: DIMM,
+        *,
+        enforce_dimm: bool = True,
+        enforce_chip: bool = False,
+        ipm: bool = False,
+        mr_splits: int = 1,
+        gcp_enabled: bool = False,
+        ooo_window: int = 1,
+        pwl: bool = False,
+        mr_grouping: str = "position",
+    ):
+        self.config = config
+        self.dimm = dimm
+        self.enforce_dimm = enforce_dimm
+        self.enforce_chip = enforce_chip
+        self.ipm = ipm
+        self.mr_splits = mr_splits
+        self.gcp_enabled = gcp_enabled and enforce_chip
+        self.ooo_window = max(1, ooo_window)
+        self.pwl = pwl
+        self.mr_grouping = mr_grouping
+        self.reset_set_ratio = config.pcm.reset_set_power_ratio
+
+        #: The DIMM budget is *input power* (Eq. 6): LCP-delivered tokens
+        #: draw 1/E_LCP each, GCP-delivered tokens 1/E_GCP each.
+        self.dimm_pool = TokenPool(config.power.dimm_tokens, name="dimm")
+        self.lcp_efficiency = config.power.lcp_efficiency
+        self.gcp: Optional[GlobalChargePump] = None
+        if self.gcp_enabled:
+            self.gcp = GlobalChargePump(
+                lcp_efficiency=config.power.lcp_efficiency,
+                gcp_efficiency=config.power.gcp_efficiency,
+                max_output_tokens=config.power.gcp_output_tokens(dimm.n_chips),
+            )
+        self._holdings: Dict[int, Holding] = {}
+        #: Why acquisitions failed (diagnostics and tests).
+        self.fail_counts: Dict[str, int] = {"dimm": 0, "chip": 0, "gcp": 0}
+        # PWL intra-line wear-leveling state: line -> [writes_left, offset].
+        self._pwl_state: Dict[int, List[int]] = {}
+        self._pwl_rng = np.random.default_rng(
+            np.random.SeedSequence([config.seed, 0x50574C])
+        )
+
+    # ------------------------------------------------------------------
+    # Admission-time hooks
+    # ------------------------------------------------------------------
+    def line_offset(self, line_addr: int) -> int:
+        """Wear-leveling rotation offset for this write (PWL strawman).
+
+        The paper's PWL shifts each line by a random offset every 8-100
+        writes (Section 2.2).
+        """
+        if not self.pwl:
+            return 0
+        state = self._pwl_state.get(line_addr)
+        if state is None or state[0] <= 0:
+            period = int(self._pwl_rng.integers(8, 101))
+            offset = int(self._pwl_rng.integers(0, self.dimm.cells_per_line))
+            state = [period, offset]
+            self._pwl_state[line_addr] = state
+        state[0] -= 1
+        return state[1]
+
+    # ------------------------------------------------------------------
+    # Issue / advance / complete
+    # ------------------------------------------------------------------
+    def try_issue(self, write: WriteOperation, now: int) -> bool:
+        """Attempt to start iteration 0. Applies Multi-RESET on demand:
+        if the full RESET does not fit but a split one does, re-plan the
+        write (Section 3.2: Multi-RESET kicks in when tokens are short).
+        """
+        if write.n_changed == 0:
+            return True
+        if self._try_acquire(write, 0, now):
+            return True
+        if self.ipm and self.mr_splits > 1 and write.mr_splits == 1:
+            write.apply_multi_reset(self.mr_splits, grouping=self.mr_grouping)
+            if self._try_acquire(write, 0, now):
+                return True
+            # Leave the MR plan in place; it can only lower the demand.
+        return False
+
+    def try_resume(self, write: WriteOperation, now: int) -> bool:
+        """Attempt to restart a stalled/paused write at its current
+        iteration.
+
+        If the acquisition fails with the segment sources kept from
+        before the stall (e.g. several segments pinned to the GCP whose
+        combined demand exceeds the pump), the sources are re-decided
+        from scratch — a stalled write has no pulses in flight, so
+        re-routing its segments is safe and prevents livelock.
+        """
+        if self._try_acquire(write, write.current_iteration, now):
+            return True
+        holding = self._holdings.get(write.write_id)
+        if holding is not None and holding.sources.any():
+            holding.sources[:] = SRC_NONE
+            return self._try_acquire(write, write.current_iteration, now)
+        return False
+
+    def required_rounds(self, write: WriteOperation) -> int:
+        """How many sequential rounds a write must be split into so each
+        round's peak demand fits the budgets at all (Section 3.2's
+        multi-round write: e.g. 1024 cell changes can never fit a
+        560-token DIMM budget in one round).
+
+        Multi-RESET divides the RESET peak by ``mr_splits``, so IPM
+        schemes need fewer rounds than per-write schemes.
+        """
+        if write.n_changed == 0:
+            return 1
+        rounds = 1
+        groups = self.mr_splits if self.ipm else 1
+        if self.enforce_dimm:
+            # The DIMM budget is input power; a round's RESET demand of
+            # n usable tokens draws n/E_LCP, so the usable-token cap per
+            # round is budget * E_LCP (532 for Table 1's 560).
+            cap = self.dimm_pool.budget * self.lcp_efficiency * groups
+            rounds = max(rounds, math.ceil(write.n_changed / cap))
+        if self.enforce_chip and self.dimm.chips:
+            seg_cap = self.dimm.chips[0].budget
+            if self.gcp is not None:
+                seg_cap = max(seg_cap, self.gcp.max_output_tokens)
+            max_chip = float(write.chip_counts.max())
+            if max_chip > 0:
+                rounds = max(rounds, math.ceil(max_chip / (seg_cap * groups)))
+        return rounds
+
+    def on_iteration_end(self, write: WriteOperation, i: int, now: int) -> str:
+        """Advance past iteration ``i``. Returns 'done', 'advance' or
+        'stall'. Holdings for iteration ``i+1`` are acquired here."""
+        if i + 1 >= write.total_iterations:
+            self.release_all(write, now)
+            return "done"
+        if not self.ipm:
+            # Per-write budgeting holds a constant allocation; nothing to do.
+            return "advance"
+        self.release_all(write, now, keep_sources=True)
+        if self._try_acquire(write, i + 1, now):
+            return "advance"
+        return "stall"
+
+    def release_all(
+        self, write: WriteOperation, now: int, *, keep_sources: bool = False
+    ) -> None:
+        """Return every token the write holds (completion, stall, cancel,
+        pause)."""
+        holding = self._holdings.get(write.write_id)
+        if holding is None:
+            return
+        if holding.dimm > TOKEN_EPS:
+            self.dimm_pool.release(holding.dimm, now)
+        for chip in self.dimm.chips:
+            held = holding.chip[chip.chip_id]
+            if held > TOKEN_EPS:
+                chip.release(held)
+        for grant in holding.grants.values():
+            assert self.gcp is not None
+            self.gcp.release(grant)
+        if keep_sources:
+            sources = holding.sources
+            holding = Holding(self.dimm.n_chips)
+            holding.sources = sources
+            self._holdings[write.write_id] = holding
+        else:
+            del self._holdings[write.write_id]
+
+    def holding_for(self, write: WriteOperation) -> Optional[Holding]:
+        return self._holdings.get(write.write_id)
+
+    # ------------------------------------------------------------------
+    # The atomic acquisition step
+    # ------------------------------------------------------------------
+    def _try_acquire(self, write: WriteOperation, i: int, now: int) -> bool:
+        """Plan and commit iteration ``i``'s full allocation, or nothing.
+
+        All checks (chip LCPs, GCP pump capacity, DIMM input power) run
+        before anything is committed, so failure never leaves partial
+        holdings behind.
+        """
+        c_ratio = self.reset_set_ratio
+        holding = self._holdings.get(write.write_id)
+        if holding is None:
+            holding = Holding(self.dimm.n_chips)
+        chips = self.dimm.chips
+
+        local_plan: List[int] = []
+        gcp_plan: List[int] = []
+        local_total = 0.0
+        gcp_total = 0.0
+        need = None
+        if self.enforce_chip:
+            need = write.chip_alloc(i, c_ratio, self.ipm)
+            for c in range(self.dimm.n_chips):
+                amount = float(need[c])
+                if amount <= TOKEN_EPS:
+                    continue
+                src = holding.sources[c]
+                if src == SRC_NONE:
+                    src = SRC_LCP if chips[c].can_allocate(amount) else SRC_GCP
+                if src == SRC_LCP:
+                    if not chips[c].can_allocate(amount):
+                        self.fail_counts["chip"] += 1
+                        return False
+                    local_plan.append(c)
+                    local_total += amount
+                else:
+                    if self.gcp is None:
+                        self.fail_counts["chip"] += 1
+                        return False
+                    gcp_plan.append(c)
+                    gcp_total += amount
+            if gcp_total > 0 and not self.gcp.can_supply(gcp_total):
+                self.fail_counts["gcp"] += 1
+                return False
+            dimm_input = local_total / self.lcp_efficiency
+            if gcp_total > 0:
+                dimm_input += self.gcp.input_power(gcp_total)
+        else:
+            dimm_input = (
+                write.dimm_alloc(i, c_ratio, self.ipm) / self.lcp_efficiency
+            )
+
+        if self.enforce_dimm and not self.dimm_pool.can_allocate(dimm_input):
+            self.fail_counts["dimm"] += 1
+            return False
+
+        # --- commit ---
+        if self.enforce_chip and need is not None:
+            for c in local_plan:
+                chips[c].allocate(float(need[c]))
+                holding.chip[c] = float(need[c])
+                holding.sources[c] = SRC_LCP
+            for c in gcp_plan:
+                assert self.gcp is not None
+                holding.grants[c] = self.gcp.acquire(float(need[c]))
+                holding.sources[c] = SRC_GCP
+            if gcp_total > 0:
+                write.gcp_peak_tokens = max(write.gcp_peak_tokens, gcp_total)
+        if self.enforce_dimm and dimm_input > TOKEN_EPS:
+            self.dimm_pool.allocate(dimm_input, now)
+            holding.dimm = dimm_input
+        self._holdings[write.write_id] = holding
+        return True
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by tests)
+    # ------------------------------------------------------------------
+    def assert_conserved(self) -> None:
+        """Every pool's allocation equals the sum over live holdings."""
+        dimm_sum = sum(h.dimm for h in self._holdings.values())
+        if abs(dimm_sum - self.dimm_pool.allocated) > 1e-6:
+            raise SchedulingError(
+                f"DIMM pool leak: held {dimm_sum} vs pool {self.dimm_pool.allocated}"
+            )
+        for chip in self.dimm.chips:
+            chip_sum = sum(h.chip[chip.chip_id] for h in self._holdings.values())
+            if abs(chip_sum - chip.allocated) > 1e-6:
+                raise SchedulingError(
+                    f"chip {chip.chip_id} leak: held {chip_sum} vs "
+                    f"{chip.allocated}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, dimm={self.enforce_dimm}, "
+            f"chip={self.enforce_chip}, ipm={self.ipm}, mr={self.mr_splits}, "
+            f"gcp={self.gcp_enabled})"
+        )

@@ -1,0 +1,186 @@
+"""Named power-budgeting schemes.
+
+Every scheme evaluated in the paper is a :class:`SchemeSpec`: a set of
+power-manager flags plus the configuration tweaks the scheme implies
+(cell mapping, GCP efficiency, chip-budget scaling, write-queue depth).
+Scheme names follow the paper's: ``ideal``, ``dimm-only``, ``dimm+chip``,
+``pwl``, ``1.5xlocal``, ``2xlocal``, ``sche24/48/96``, ``gcp-<map>-<eff>``
+(e.g. ``gcp-bim-0.7``), ``ipm``, ``ipm+mr``/``ipm+mr<k>``, and ``fpb``
+(= GCP-BIM-0.7 + IPM + MR3, Section 6.4).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ...config.system import SystemConfig
+from ...errors import ConfigError
+from ...pcm.dimm import DIMM
+from .base import PowerManager
+
+#: The paper's default Multi-RESET split count (Figure 17: 3 is best).
+DEFAULT_MR_SPLITS = 3
+
+#: The paper's default FPB GCP configuration (Section 6.2).
+DEFAULT_FPB_MAPPING = "bim"
+DEFAULT_FPB_EFFICIENCY = 0.70
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A named power-budgeting scheme and its manager/config knobs."""
+
+    name: str
+    enforce_dimm: bool = True
+    enforce_chip: bool = True
+    ipm: bool = False
+    mr_splits: int = 1
+    gcp: bool = False
+    pwl: bool = False
+    ooo_window: int = 1
+    mr_grouping: str = "position"
+    mapping: Optional[str] = None
+    gcp_efficiency: Optional[float] = None
+    chip_budget_scale: Optional[float] = None
+    write_queue_entries: Optional[int] = None
+    description: str = ""
+
+    def apply_to_config(self, config: SystemConfig) -> SystemConfig:
+        """Fold the scheme's configuration implications into a config."""
+        if self.mapping is not None:
+            config = config.with_mapping(self.mapping)
+        power = config.power
+        if self.gcp_efficiency is not None:
+            power = replace(power, gcp_efficiency=self.gcp_efficiency)
+        if self.chip_budget_scale is not None:
+            power = replace(power, chip_budget_scale=self.chip_budget_scale)
+        if power is not config.power:
+            config = replace(config, power=power)
+        if self.write_queue_entries is not None:
+            config = config.with_write_queue(self.write_queue_entries)
+        return config
+
+    def build_manager(self, config: SystemConfig, dimm: DIMM) -> PowerManager:
+        manager = PowerManager(
+            config,
+            dimm,
+            enforce_dimm=self.enforce_dimm,
+            enforce_chip=self.enforce_chip,
+            ipm=self.ipm,
+            mr_splits=self.mr_splits,
+            gcp_enabled=self.gcp,
+            ooo_window=self.ooo_window,
+            pwl=self.pwl,
+            mr_grouping=self.mr_grouping,
+        )
+        manager.name = self.name
+        return manager
+
+
+def _static_schemes() -> Dict[str, SchemeSpec]:
+    schemes = [
+        SchemeSpec(
+            name="ideal", enforce_dimm=False, enforce_chip=False,
+            description="No power restrictions (upper bound).",
+        ),
+        SchemeSpec(
+            name="dimm-only", enforce_chip=False,
+            description="Hay et al. [8]: DIMM budget only, per-write tokens.",
+        ),
+        SchemeSpec(
+            name="dimm+chip",
+            description="Hay et al. with DIMM and per-chip budgets "
+                        "(the paper's normalization baseline).",
+        ),
+        SchemeSpec(
+            name="pwl", pwl=True,
+            description="DIMM+chip plus near-perfect intra-line wear leveling.",
+        ),
+        SchemeSpec(
+            name="1.5xlocal", chip_budget_scale=1.5,
+            description="DIMM+chip with 50% larger local charge pumps.",
+        ),
+        SchemeSpec(
+            name="2xlocal", chip_budget_scale=2.0,
+            description="DIMM+chip with doubled local charge pumps.",
+        ),
+        SchemeSpec(
+            name="fpb",
+            ipm=True, mr_splits=DEFAULT_MR_SPLITS, gcp=True,
+            mapping=DEFAULT_FPB_MAPPING, gcp_efficiency=DEFAULT_FPB_EFFICIENCY,
+            description="Full FPB: GCP-BIM-0.7 + IPM + Multi-RESET(3).",
+        ),
+        SchemeSpec(
+            name="fpb-mrchanged",
+            ipm=True, mr_splits=DEFAULT_MR_SPLITS, gcp=True,
+            mapping=DEFAULT_FPB_MAPPING, gcp_efficiency=DEFAULT_FPB_EFFICIENCY,
+            mr_grouping="changed",
+            description="FPB with changed-cell-based Multi-RESET grouping "
+                        "(Section 3.2's higher-overhead alternative).",
+        ),
+    ]
+    for entries in (24, 48, 96):
+        schemes.append(SchemeSpec(
+            name=f"sche{entries}", ooo_window=entries,
+            write_queue_entries=entries,
+            description=f"DIMM+chip with out-of-order issue from a "
+                        f"{entries}-entry write queue.",
+        ))
+    return {s.name: s for s in schemes}
+
+
+_STATIC = _static_schemes()
+
+_GCP_RE = re.compile(r"^gcp-(ne|naive|vim|bim)-(\d*\.?\d+)$")
+_IPM_RE = re.compile(r"^ipm(?:\+mr(\d*))?(?:-(ne|naive|vim|bim))?(?:-(\d*\.?\d+))?$")
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """Look up or parse a scheme by its paper-style name."""
+    key = name.lower()
+    if key in _STATIC:
+        return _STATIC[key]
+
+    match = _GCP_RE.match(key)
+    if match:
+        mapping, eff = match.group(1), float(match.group(2))
+        _check_efficiency(eff, name)
+        return SchemeSpec(
+            name=key, gcp=True, mapping=mapping, gcp_efficiency=eff,
+            description=f"FPB-GCP with {mapping.upper()} mapping at "
+                        f"{eff:.0%} GCP efficiency (per-write tokens).",
+        )
+
+    match = _IPM_RE.match(key)
+    if match:
+        mr_group, mapping, eff = match.groups()
+        mr = 1
+        if mr_group is not None:
+            mr = int(mr_group) if mr_group else DEFAULT_MR_SPLITS
+            if mr < 2:
+                raise ConfigError(f"Multi-RESET needs >= 2 splits: {name!r}")
+        mapping = mapping or DEFAULT_FPB_MAPPING
+        efficiency = float(eff) if eff else DEFAULT_FPB_EFFICIENCY
+        _check_efficiency(efficiency, name)
+        return SchemeSpec(
+            name=key, ipm=True, mr_splits=mr, gcp=True,
+            mapping=mapping, gcp_efficiency=efficiency,
+            description=f"FPB-IPM{' + Multi-RESET(%d)' % mr if mr > 1 else ''} "
+                        f"over GCP-{mapping.upper()}-{efficiency}.",
+        )
+
+    raise ConfigError(
+        f"unknown scheme {name!r}; try one of {sorted(_STATIC)} or "
+        "'gcp-<ne|vim|bim>-<eff>' / 'ipm[+mr[k]][-<map>][-<eff>]'"
+    )
+
+
+def _check_efficiency(eff: float, name: str) -> None:
+    if not 0.0 < eff <= 1.0:
+        raise ConfigError(f"GCP efficiency out of (0,1] in scheme {name!r}")
+
+
+def available_schemes() -> "tuple[str, ...]":
+    return tuple(sorted(_STATIC))

@@ -1,0 +1,284 @@
+"""The MLC line-write operation state machine.
+
+A :class:`WriteOperation` captures everything the power-budgeting layer
+needs to know about one line write:
+
+* which cells change and how many program-and-verify iterations each
+  needs (sampled by the device model);
+* the *iteration schedule*: ``m`` RESET iterations (``m > 1`` only under
+  Multi-RESET, Section 3.2) followed by SET iterations until the slowest
+  cell finishes;
+* per-iteration power demand, at DIMM and per-chip granularity, under
+  either per-write budgeting (Hay et al. [8]) or FPB-IPM's step-down
+  profile (Section 3, Figure 5).
+
+The FPB-IPM allocation profile for a write with ``n`` changed cells,
+``C = RESET_power/SET_power`` and per-iteration active counts
+``active[k]`` (``active[0] = n``):
+
+* RESET group ``g``: ``group[g]`` tokens (all groups sum to ``n``);
+* first SET iteration: ``n / C`` tokens — the reclaim of ``(C-1)/C``
+  of the RESET allocation;
+* SET iteration ``j >= 2``: ``active[j-1] / C`` tokens — the verify
+  report of iteration ``j-2`` bounds how many cells iteration ``j`` can
+  touch (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..pcm.mapping import CellMapping
+from ..pcm.write_model import (
+    active_cells_per_chip_iteration,
+    active_cells_per_iteration,
+)
+
+
+class WriteState(enum.Enum):
+    """Lifecycle of a write in the memory subsystem."""
+
+    QUEUED = "queued"          # sitting in the write queue
+    ACTIVE = "active"          # pulses being applied
+    STALLED = "stalled"        # between iterations, waiting for tokens
+    PAUSED = "paused"          # preempted by a read (write pausing)
+    DONE = "done"
+    CANCELLED = "cancelled"    # aborted by write cancellation
+
+
+class IterationKind(enum.Enum):
+    RESET = "reset"
+    SET = "set"
+
+
+class WriteOperation:
+    """One line write and its iteration/power schedule."""
+
+    def __init__(
+        self,
+        write_id: int,
+        line_addr: int,
+        bank: int,
+        changed_idx: np.ndarray,
+        iteration_counts: np.ndarray,
+        mapping: CellMapping,
+        *,
+        offset: int = 0,
+        mr_splits: int = 1,
+        truncate_max_cells: Optional[int] = None,
+    ):
+        if mr_splits < 1:
+            raise SchedulingError(f"mr_splits must be >= 1, got {mr_splits}")
+        self.write_id = write_id
+        self.line_addr = line_addr
+        self.bank = bank
+        self.mapping = mapping
+        self.offset = offset
+        self.changed_idx = np.asarray(changed_idx, dtype=np.int64)
+        counts = np.asarray(iteration_counts, dtype=np.int64)
+        if counts.size != self.changed_idx.size:
+            raise SchedulingError(
+                "iteration_counts must align with changed_idx "
+                f"({counts.size} != {self.changed_idx.size})"
+            )
+        if truncate_max_cells is not None and counts.size:
+            counts = _truncate_counts(counts, truncate_max_cells)
+        self.iteration_counts = counts
+        self.n_changed = int(self.changed_idx.size)
+        self.n_chips = mapping.n_chips
+
+        max_count = int(counts.max()) if counts.size else 0
+        self.chip_of_cell = mapping.chip_of(self.changed_idx, offset)
+        #: active[k] = cells still programming in cell-iteration k+1.
+        self.active = active_cells_per_iteration(counts, max_count) \
+            if counts.size else np.zeros(0, dtype=np.int64)
+        #: chip_active[c, k] = chip c's cells still programming in k+1.
+        self.chip_active = active_cells_per_chip_iteration(
+            self.chip_of_cell, counts, self.n_chips
+        ) if counts.size else np.zeros((self.n_chips, 0), dtype=np.int64)
+        self.chip_counts = (
+            self.chip_active[:, 0]
+            if self.chip_active.shape[1]
+            else np.zeros(self.n_chips, dtype=np.int64)
+        )
+
+        # --- runtime state (owned by the scheduler/power manager) ---
+        self.state = WriteState.QUEUED
+        self.current_iteration = 0
+        self.arrival_time = 0
+        self.issue_time: Optional[int] = None
+        self.complete_time: Optional[int] = None
+        self.stall_cycles = 0
+        self.cancel_count = 0
+        #: Peak GCP output simultaneously supplying this write (Fig. 14).
+        self.gcp_peak_tokens = 0.0
+
+        self.mr_splits = 1
+        self.group_totals = np.array([self.n_changed], dtype=np.int64)
+        self.group_chip_counts = self.chip_counts.reshape(self.n_chips, 1)
+        if mr_splits > 1 and self.n_changed:
+            self.apply_multi_reset(mr_splits)
+
+    # ------------------------------------------------------------------
+    # Multi-RESET planning
+    # ------------------------------------------------------------------
+    def apply_multi_reset(self, mr_splits: int,
+                          grouping: str = "position") -> None:
+        """Split the RESET iteration into ``mr_splits`` groups.
+
+        Section 3.2 describes two grouping strategies: grouping cells by
+        *position* regardless of whether they change (lower hardware
+        overhead — a 2-bit group-enable per chip — and the paper's
+        choice), or grouping only the cells *to be changed* (better
+        balanced groups, more control hardware). Both are implemented so
+        the trade-off can be measured (``abl_mr`` ablation).
+        """
+        if self.state is not WriteState.QUEUED:
+            raise SchedulingError("cannot re-plan an in-flight write")
+        mr_splits = max(1, min(mr_splits, max(1, self.n_changed)))
+        self.mr_splits = mr_splits
+        if mr_splits == 1 or not self.n_changed:
+            self.group_totals = np.array([self.n_changed], dtype=np.int64)
+            self.group_chip_counts = self.chip_counts.reshape(self.n_chips, 1)
+            return
+        if grouping == "position":
+            cells_per_chip = self.mapping.n_cells // self.n_chips
+            rank = self._rank_in_chip()
+            group = rank * mr_splits // cells_per_chip
+        elif grouping == "changed":
+            # Deal each chip's changed cells round-robin into groups:
+            # every group gets an equal share of every chip's work.
+            group = np.zeros(self.n_changed, dtype=np.int64)
+            for chip in range(self.n_chips):
+                members = np.flatnonzero(self.chip_of_cell == chip)
+                group[members] = np.arange(members.size) % mr_splits
+        else:
+            raise SchedulingError(
+                f"unknown Multi-RESET grouping {grouping!r}; "
+                "use 'position' or 'changed'"
+            )
+        self.group_totals = np.bincount(group, minlength=mr_splits)
+        grid = np.zeros((self.n_chips, mr_splits), dtype=np.int64)
+        np.add.at(grid, (self.chip_of_cell, group), 1)
+        self.group_chip_counts = grid
+
+    def _rank_in_chip(self) -> np.ndarray:
+        """Position of each changed cell within its chip's cell array."""
+        all_chips = self.mapping.chip_of(
+            np.arange(self.mapping.n_cells), self.offset
+        )
+        # rank of cell i = how many earlier cells share its chip.
+        rank_all = np.zeros(self.mapping.n_cells, dtype=np.int64)
+        for chip in range(self.n_chips):
+            members = np.flatnonzero(all_chips == chip)
+            rank_all[members] = np.arange(members.size)
+        return rank_all[self.changed_idx]
+
+    # ------------------------------------------------------------------
+    # Schedule queries
+    # ------------------------------------------------------------------
+    @property
+    def n_reset_iterations(self) -> int:
+        return self.mr_splits
+
+    @property
+    def max_cell_iterations(self) -> int:
+        return int(self.active.size)
+
+    @property
+    def total_iterations(self) -> int:
+        """RESET groups plus the SET iterations of the slowest cell."""
+        if not self.n_changed:
+            return 0
+        return self.mr_splits + self.max_cell_iterations - 1
+
+    def iteration_kind(self, i: int) -> IterationKind:
+        self._check_iteration(i)
+        return IterationKind.RESET if i < self.mr_splits else IterationKind.SET
+
+    def _check_iteration(self, i: int) -> None:
+        if not 0 <= i < self.total_iterations:
+            raise SchedulingError(
+                f"iteration {i} out of range [0, {self.total_iterations})"
+            )
+
+    def _set_index(self, i: int) -> int:
+        """Cell-iteration index (1-based SET number) of overall iteration i."""
+        return i - self.mr_splits + 1
+
+    # ------------------------------------------------------------------
+    # Power demand profiles
+    # ------------------------------------------------------------------
+    def dimm_alloc(self, i: int, reset_set_ratio: float, ipm: bool) -> float:
+        """DIMM tokens iteration ``i`` must hold."""
+        self._check_iteration(i)
+        if not ipm:
+            # Per-write budgeting: RESET-level power for the whole write.
+            return float(self.n_changed)
+        if i < self.mr_splits:
+            return float(self.group_totals[i])
+        j = self._set_index(i)
+        if j == 1:
+            return self.n_changed / reset_set_ratio
+        return float(self.active[j - 1]) / reset_set_ratio
+
+    def chip_alloc(self, i: int, reset_set_ratio: float, ipm: bool) -> np.ndarray:
+        """Per-chip tokens iteration ``i`` must hold."""
+        self._check_iteration(i)
+        if not ipm:
+            return self.chip_counts.astype(np.float64)
+        if i < self.mr_splits:
+            return self.group_chip_counts[:, i].astype(np.float64)
+        j = self._set_index(i)
+        if j == 1:
+            return self.chip_counts / reset_set_ratio
+        return self.chip_active[:, j - 1] / reset_set_ratio
+
+    def cells_finishing_at(self, i: int) -> int:
+        """Cells whose programming completes at the end of iteration i.
+
+        At the end of the last RESET group, cells targeting level '00'
+        (iteration count 1) are done; SET iteration ``j`` completes the
+        cells whose count is ``j + 1``.
+        """
+        self._check_iteration(i)
+        if i < self.mr_splits - 1:
+            return 0
+        j = self._set_index(i)  # cells with count == j+1 finish now
+        if j < 0 or j >= self.active.size:
+            return 0
+        nxt = int(self.active[j + 1]) if j + 1 < self.active.size else 0
+        return int(self.active[j]) - nxt
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteOperation(id={self.write_id}, addr={self.line_addr:#x}, "
+            f"bank={self.bank}, cells={self.n_changed}, "
+            f"iters={self.total_iterations}, state={self.state.value})"
+        )
+
+
+def _truncate_counts(counts: np.ndarray, max_cells: int) -> np.ndarray:
+    """Write truncation [10]: once at most ``max_cells`` slow cells
+    remain, stop iterating and let ECC correct them.
+
+    Finds the smallest iteration ``k`` whose active-cell count is within
+    ECC reach and clips all longer cells to ``k`` iterations.
+    """
+    if max_cells <= 0:
+        return counts
+    max_count = int(counts.max())
+    active = active_cells_per_iteration(counts, max_count)
+    eligible = np.flatnonzero(active <= max_cells)
+    if eligible.size == 0:
+        return counts
+    # active[k] is the demand of cell-iteration k+1; truncating *after*
+    # iteration k+1 leaves active[k+1] cells uncorrected, so cut at the
+    # first k with active[k] <= max_cells: those cells never iterate.
+    cut = int(eligible[0])  # 0-based: cells may run at most `cut` iterations
+    cut = max(1, cut)
+    return np.minimum(counts, cut)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the FPB reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Specific subclasses indicate which subsystem rejected
+the operation.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TokenError(ReproError):
+    """A power-token pool operation violated its invariants."""
+
+
+class BudgetExceededError(TokenError):
+    """An allocation was attempted beyond the available power budget."""
+
+
+class MappingError(ReproError):
+    """A cell-to-chip mapping was asked to map out-of-range cells."""
+
+
+class SchedulingError(ReproError):
+    """The memory controller reached an inconsistent scheduling state."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or invoked incorrectly."""

@@ -1,0 +1,32 @@
+"""Paper-evaluation experiments: one module per table/figure."""
+
+from .base import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    SCALES,
+    Experiment,
+    ExperimentResult,
+    RunScale,
+    clear_sim_cache,
+    sim,
+    speedup_rows,
+)
+from .registry import available_experiments, get_experiment
+from . import ablations  # noqa: F401  (registers the ablation experiments)
+from . import worked_examples  # noqa: F401  (registers figs 3/5/6/8)
+
+__all__ = [
+    "DEFAULT",
+    "Experiment",
+    "ExperimentResult",
+    "FULL",
+    "QUICK",
+    "RunScale",
+    "SCALES",
+    "available_experiments",
+    "clear_sim_cache",
+    "get_experiment",
+    "sim",
+    "speedup_rows",
+]

@@ -1,0 +1,214 @@
+"""Experiment framework.
+
+Every table and figure of the paper's evaluation is an
+:class:`Experiment` subclass with a stable ``exp_id`` (``fig2`` ..
+``fig23``, ``tab1`` .. ``tab3``). Experiments run at a :class:`RunScale`
+(quick / default / full) and return an :class:`ExperimentResult` whose
+rows mirror the paper's series, plus the paper's reported values for
+side-by-side comparison (EXPERIMENTS.md).
+
+Simulation results are memoized per (config, workload, scheme, scale) so
+experiments that share runs (Figures 11-14 all reuse the GCP sweeps)
+don't repeat them within a process.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.metrics import gmean
+from ..analysis.report import render_table
+from ..config.presets import baseline_config
+from ..config.system import SystemConfig
+from ..errors import ExperimentError
+from ..sim.runner import SimResult, run_simulation
+from ..trace.generator import generate_trace
+from ..trace.workloads import ALL_WORKLOADS, QUICK_WORKLOADS
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """How big each simulation should be."""
+
+    name: str
+    n_pcm_writes: int
+    max_refs_per_core: int
+    workloads: Tuple[str, ...]
+
+
+QUICK = RunScale("quick", 400, 80_000, QUICK_WORKLOADS)
+DEFAULT = RunScale("default", 800, 150_000, ALL_WORKLOADS)
+FULL = RunScale("full", 2400, 400_000, ALL_WORKLOADS)
+
+SCALES = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of named columns plus provenance."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    paper_claim: str = ""
+    notes: str = ""
+    elapsed_seconds: float = 0.0
+    scale: str = "default"
+
+    def to_table(self, precision: int = 3) -> str:
+        out = render_table(
+            self.columns, self.rows,
+            title=f"{self.exp_id}: {self.title} [{self.scale}]",
+            precision=precision,
+        )
+        if self.paper_claim:
+            out += f"\n\npaper: {self.paper_claim}"
+        if self.notes:
+            out += f"\nnotes: {self.notes}"
+        return out
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (for spreadsheets/plotting)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=self.columns, extrasaction="ignore",
+        )
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise ExperimentError(f"no row with {key_column}={key!r}")
+
+
+class Experiment(abc.ABC):
+    """One paper table/figure reproduction."""
+
+    exp_id = "base"
+    title = ""
+    paper_claim = ""
+
+    @abc.abstractmethod
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        """Execute the experiment and return its rows."""
+
+    def __call__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scale: RunScale = DEFAULT,
+    ) -> ExperimentResult:
+        config = config or baseline_config()
+        start = time.time()
+        result = self.run(config, scale)
+        result.elapsed_seconds = time.time() - start
+        result.scale = scale.name
+        return result
+
+
+# ----------------------------------------------------------------------
+# Shared simulation helpers with memoization
+# ----------------------------------------------------------------------
+_SIM_CACHE: Dict[Tuple, SimResult] = {}
+
+
+def clear_sim_cache() -> None:
+    _SIM_CACHE.clear()
+
+
+def _sim_key(config: SystemConfig, workload: str, scheme: str,
+             scale: RunScale) -> Tuple:
+    return (
+        workload, scheme, scale.n_pcm_writes, scale.max_refs_per_core,
+        config.seed,
+        config.caches.l3.size_bytes, config.memory.line_size,
+        config.power.dimm_tokens, config.power.gcp_efficiency,
+        config.power.chip_budget_scale, config.cell_mapping,
+        config.scheduler.write_queue_entries,
+        config.scheduler.write_cancellation,
+        config.scheduler.write_pausing,
+        config.scheduler.write_truncation,
+        config.scheduler.model_pre_write_read,
+        config.scheduler.preset_writes,
+    )
+
+
+def sim(config: SystemConfig, workload: str, scheme: str,
+        scale: RunScale) -> SimResult:
+    """Memoized single simulation run."""
+    key = _sim_key(config, workload, scheme, scale)
+    result = _SIM_CACHE.get(key)
+    if result is None:
+        result = run_simulation(
+            config, workload, scheme,
+            n_pcm_writes=scale.n_pcm_writes,
+            max_refs_per_core=scale.max_refs_per_core,
+        )
+        _SIM_CACHE[key] = result
+    return result
+
+
+def speedup_rows(
+    config: SystemConfig,
+    scale: RunScale,
+    schemes: Sequence[str],
+    *,
+    baseline: str,
+    workloads: Optional[Sequence[str]] = None,
+    metric: str = "cpi",
+) -> List[Dict[str, object]]:
+    """One row per workload: each scheme's speedup (or throughput gain)
+    over ``baseline``, plus a final gmean row — the shape of most of the
+    paper's figures."""
+    workloads = list(workloads or scale.workloads)
+    rows: List[Dict[str, object]] = []
+    per_scheme: Dict[str, List[float]] = {s: [] for s in schemes}
+    for workload in workloads:
+        base = sim(config, workload, baseline, scale)
+        row: Dict[str, object] = {"workload": workload}
+        for scheme in schemes:
+            result = sim(config, workload, scheme, scale)
+            if metric == "cpi":
+                value = result.speedup_over(base)
+            elif metric == "throughput":
+                value = result.throughput_ratio(base)
+            else:
+                raise ExperimentError(f"unknown metric {metric!r}")
+            row[scheme] = value
+            per_scheme[scheme].append(value)
+        rows.append(row)
+    gmean_row: Dict[str, object] = {"workload": "gmean"}
+    for scheme in schemes:
+        gmean_row[scheme] = gmean(per_scheme[scheme])
+    rows.append(gmean_row)
+    return rows
+
+
+def trace_for(config: SystemConfig, workload: str, scale: RunScale):
+    return generate_trace(
+        config, workload,
+        n_pcm_writes=scale.n_pcm_writes,
+        max_refs_per_core=scale.max_refs_per_core,
+    )
+
+
+def gmean_of_column(rows: Iterable[Mapping[str, object]], column: str,
+                    skip_label: str = "gmean") -> float:
+    values = [
+        float(row[column]) for row in rows
+        if row.get("workload") != skip_label and column in row
+    ]
+    return gmean(values)

@@ -1,0 +1,188 @@
+"""Shape checks: does a measured result reproduce the paper's claims?
+
+Each check inspects an :class:`ExperimentResult` and returns a list of
+discrepancy strings (empty = every claim's *shape* holds). Checks test
+orderings and directions, not absolute magnitudes — the substrate is a
+simulator, not the authors' testbed (see EXPERIMENTS.md for the
+magnitude comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ExperimentResult
+
+
+def _gmean_row(result: ExperimentResult) -> Dict[str, object]:
+    return result.row_by("workload", "gmean")
+
+
+def check_fig4(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not row["dimm+chip"] <= row["dimm-only"] * 1.02:
+        issues.append("chip budget should cost performance beyond DIMM-only")
+    if not row["dimm-only"] <= 1.02:
+        issues.append("DIMM-only should not beat Ideal")
+    if not abs(row["pwl"] - row["dimm+chip"]) < 0.1:
+        issues.append("PWL should stay within a few % of DIMM+chip")
+    if not row["2xlocal"] >= row["dimm-only"] * 0.9:
+        issues.append("2xlocal should roughly restore DIMM-only")
+    if not row["1.5xlocal"] < row["2xlocal"]:
+        issues.append("1.5xlocal should trail 2xlocal")
+    return issues
+
+
+def check_fig10(result: ExperimentResult) -> List[str]:
+    mean = float(result.row_by("workload", "mean")["burst_fraction"])
+    if not 0.2 <= mean <= 1.0:
+        return [f"burst residency {mean:.2f} out of the motivating range"]
+    return []
+
+
+def check_fig11(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not row["gcp-ne-0.95"] >= row["gcp-ne-0.7"] - 0.02:
+        issues.append("GCP benefit should not grow as efficiency drops")
+    if not row["gcp-ne-0.7"] >= row["gcp-ne-0.5"] - 0.02:
+        issues.append("GCP-0.7 should beat GCP-0.5")
+    if not row["gcp-ne-0.95"] > 1.0:
+        issues.append("GCP at 0.95 should beat DIMM+chip")
+    return issues
+
+
+def check_fig12(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not row["gcp-vim-0.7"] > row["gcp-ne-0.7"]:
+        issues.append("VIM should beat the naive mapping")
+    if not row["gcp-bim-0.7"] >= row["gcp-vim-0.7"] - 0.03:
+        issues.append("BIM should be at least VIM-grade")
+    if not row["gcp-bim-0.5"] > row["gcp-ne-0.7"]:
+        issues.append("advanced mappings should rescue low efficiency")
+    return issues
+
+
+def check_fig14(result: ExperimentResult) -> List[str]:
+    row = result.row_by("workload", "avg")
+    issues = []
+    if not float(row["VIM-0.7"]) < float(row["NE-0.7"]):
+        issues.append("VIM should cut GCP token requests vs NE")
+    if not float(row["BIM-0.7"]) < float(row["NE-0.7"]):
+        issues.append("BIM should cut GCP token requests vs NE")
+    return issues
+
+
+def check_fig16(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not row["ipm"] > row["gcp-bim-0.7"]:
+        issues.append("IPM should improve on per-write GCP budgeting")
+    if not row["ipm+mr"] >= row["ipm"] * 0.97:
+        issues.append("Multi-RESET should not cost IPM performance")
+    if not row["ipm+mr"] >= row["ideal"] * 0.75:
+        issues.append("IPM+MR should land near Ideal")
+    return issues
+
+
+def check_fig17(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    values = [float(row[k]) for k in ("ipm+mr2", "ipm+mr3", "ipm+mr4")]
+    if max(values) / min(values) > 1.15:
+        return ["MR split counts should differ by only a few percent"]
+    return []
+
+
+def check_fig18(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not row["ipm+mr"] > 1.5:
+        issues.append("full FPB should multiply write throughput")
+    if not row["ideal"] >= row["ipm+mr"] * 0.95:
+        issues.append("Ideal throughput should bound FPB")
+    return issues
+
+
+def check_fig19(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    if not float(row["256B"]) >= float(row["64B"]):
+        return ["FPB's gain should grow with line size"]
+    return []
+
+
+def check_fig20(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    if not float(row["128M"]) <= float(row["32M"]) + 0.05:
+        return ["FPB's gain should shrink at a 128MB LLC"]
+    return []
+
+
+def check_fig21(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    issues = []
+    if not float(row["24"]) > 1.0:
+        issues.append("FPB should win at the paper's 24-entry queue")
+    values = [float(row[k]) for k in ("24", "48", "96")]
+    if max(values) / min(values) > 1.5:
+        issues.append("gains across queue depths should be the same order")
+    return issues
+
+
+def check_fig22(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    if not float(row["466"]) >= float(row["598"]) - 0.1:
+        return ["FPB should help at least as much under tighter budgets"]
+    return []
+
+
+def check_fig23(result: ExperimentResult) -> List[str]:
+    row = _gmean_row(result)
+    if not float(row["FPB+WC+WP+WT"]) >= float(row["FPB"]) * 0.9:
+        return ["the WC/WP/WT stack should compose with FPB"]
+    return []
+
+
+def check_fig2(result: ExperimentResult) -> List[str]:
+    row = result.row_by("workload", "gmean")
+    issues = []
+    for line in (64, 128, 256):
+        if not float(row[f"{line}B-mlc"]) <= float(row[f"{line}B-slc"]):
+            issues.append(f"MLC should change fewer cells than SLC at {line}B")
+    if not float(row["64B-mlc"]) <= float(row["256B-mlc"]):
+        issues.append("larger lines should change more cells")
+    return issues
+
+
+_CHECKS: Dict[str, Callable[[ExperimentResult], List[str]]] = {
+    "fig2": check_fig2,
+    "fig4": check_fig4,
+    "fig10": check_fig10,
+    "fig11": check_fig11,
+    "fig12": check_fig12,
+    "fig14": check_fig14,
+    "fig16": check_fig16,
+    "fig17": check_fig17,
+    "fig18": check_fig18,
+    "fig19": check_fig19,
+    "fig20": check_fig20,
+    "fig21": check_fig21,
+    "fig22": check_fig22,
+    "fig23": check_fig23,
+}
+
+
+def check_result(result: ExperimentResult) -> List[str]:
+    """Run the shape check for this result's experiment, if one exists."""
+    checker = _CHECKS.get(result.exp_id)
+    if checker is None:
+        return []
+    try:
+        return checker(result)
+    except Exception as exc:  # a malformed result is itself a finding
+        return [f"check failed to run: {exc!r}"]
+
+
+def has_check(exp_id: str) -> bool:
+    return exp_id in _CHECKS

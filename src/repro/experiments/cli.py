@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig16 --scale quick
+    python -m repro.experiments run all --scale default --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from ..config.presets import baseline_config
+from .base import DEFAULT, SCALES, RunScale
+from .registry import available_experiments, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the FPB (MICRO 2012) evaluation tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (fig2..fig23, tab1..tab3, all)")
+    run.add_argument(
+        "--scale", choices=sorted(SCALES), default=DEFAULT.name,
+        help="simulation size (quick/default/full)",
+    )
+    run.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    run.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to also write <exp_id>.txt reports into",
+    )
+    run.add_argument(
+        "--bars", action="store_true",
+        help="append an ASCII bar chart of the gmean row",
+    )
+    run.add_argument(
+        "--csv", action="store_true",
+        help="with --out, also write <exp_id>.csv files",
+    )
+    return parser
+
+
+def _run_one(exp_id: str, scale: RunScale, seed: int,
+             out_dir: Optional[pathlib.Path], bars: bool = False,
+             csv: bool = False) -> str:
+    from ..analysis.report import render_bars
+    from .checks import check_result
+
+    experiment = get_experiment(exp_id)
+    config = baseline_config(seed=seed)
+    result = experiment(config, scale)
+    text = result.to_table()
+    if bars:
+        try:
+            gmean_row = dict(result.row_by("workload", "gmean"))
+            gmean_row.pop("workload", None)
+            numeric = {
+                k: float(v) for k, v in gmean_row.items()
+                if isinstance(v, (int, float))
+            }
+            if numeric:
+                text += "\n\n" + render_bars(
+                    numeric, title="gmean", reference=1.0,
+                )
+        except Exception:
+            pass  # experiments without a gmean row just skip the chart
+    issues = check_result(result)
+    if issues:
+        text += "\n\nSHAPE CHECK: " + "; ".join(issues)
+    else:
+        from .checks import has_check
+        if has_check(exp_id):
+            text += "\n\nshape check: all paper claims hold"
+    text += f"\n({result.elapsed_seconds:.1f}s)\n"
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{exp_id}.txt").write_text(text)
+        if csv:
+            (out_dir / f"{exp_id}.csv").write_text(result.to_csv())
+    return text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in available_experiments():
+            exp = get_experiment(exp_id)
+            print(f"{exp_id:6s} {exp.title}")
+        return 0
+
+    scale = SCALES[args.scale]
+    targets = (
+        list(available_experiments())
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    for exp_id in targets:
+        print(_run_one(exp_id, scale, args.seed, args.out,
+                       bars=args.bars, csv=args.csv))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Figure 12: cell-mapping optimizations (VIM, BIM) for FPB-GCP.
+
+Normalized to DIMM+chip. The paper: at 70% GCP efficiency VIM/BIM come
+within 2%/1.4% of DIMM-only; both keep the GCP effective even at 50%
+efficiency; BIM edges out VIM.
+"""
+
+from __future__ import annotations
+
+from ..config.system import SystemConfig
+from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+
+SCHEMES = (
+    "gcp-ne-0.7", "gcp-vim-0.7", "gcp-vim-0.5", "gcp-bim-0.7", "gcp-bim-0.5",
+)
+
+
+class Fig12Mapping(Experiment):
+    exp_id = "fig12"
+    title = "Speedup of cell-mapping optimizations (VIM/BIM)"
+    paper_claim = (
+        "VIM/BIM at E=0.7 within 2%/1.4% of DIMM-only; advanced mappings "
+        "rescue E=0.5; BIM slightly better than VIM (Figure 12)."
+    )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")
+        return ExperimentResult(
+            self.exp_id, self.title, ["workload", *SCHEMES], rows,
+            paper_claim=self.paper_claim,
+        )

@@ -1,0 +1,58 @@
+"""Figure 16: FPB-IPM and Multi-RESET speedup.
+
+Normalized to DIMM+chip, with GCP-BIM at 70% efficiency underneath.
+The paper: IPM +26.9% over GCP-BIM; IPM+MR +30.7% over GCP-BIM and
++75.6% over DIMM+chip, within 12.2% of Ideal. Also reports gmeans at
+GCP efficiencies of 0.5 and 0.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.metrics import gmean
+from ..config.system import SystemConfig
+from .base import Experiment, ExperimentResult, RunScale, sim, speedup_rows
+
+SCHEMES = ("gcp-bim-0.7", "ipm", "ipm+mr", "ideal")
+
+
+class Fig16IPM(Experiment):
+    exp_id = "fig16"
+    title = "FPB-IPM and Multi-RESET speedup (over DIMM+chip)"
+    paper_claim = (
+        "IPM +26.9% over GCP-BIM; IPM+MR +30.7% over GCP-BIM, +75.6% "
+        "over DIMM+chip, within 12.2% of Ideal (Figure 16)."
+    )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")
+        # The paper's extra gmean bars at lower GCP efficiency.
+        for eff in (0.5, 0.3):
+            row: Dict[str, object] = {"workload": f"gm{eff}"}
+            values: Dict[str, List[float]] = {s: [] for s in SCHEMES}
+            for workload in scale.workloads:
+                base = sim(config, workload, "dimm+chip", scale)
+                values["gcp-bim-0.7"].append(
+                    sim(config, workload, f"gcp-bim-{eff}", scale)
+                    .speedup_over(base)
+                )
+                values["ipm"].append(
+                    sim(config, workload, f"ipm-bim-{eff}", scale)
+                    .speedup_over(base)
+                )
+                values["ipm+mr"].append(
+                    sim(config, workload, f"ipm+mr-bim-{eff}", scale)
+                    .speedup_over(base)
+                )
+                values["ideal"].append(
+                    sim(config, workload, "ideal", scale).speedup_over(base)
+                )
+            for scheme in SCHEMES:
+                row[scheme] = gmean(values[scheme])
+            rows.append(row)
+        return ExperimentResult(
+            self.exp_id, self.title, ["workload", *SCHEMES], rows,
+            paper_claim=self.paper_claim,
+            notes="gm0.5/gm0.3 rows use GCP-BIM at that efficiency underneath.",
+        )

@@ -1,0 +1,33 @@
+"""Figure 18: normalized write throughput.
+
+Write throughput (line writes per unit of write-active time) normalized
+to DIMM+chip. The paper: GCP alone gains ~58.8%, the full FPB stack
+(GCP+IPM+MR) reaches 3.4x, still 22% below Ideal.
+"""
+
+from __future__ import annotations
+
+from ..config.system import SystemConfig
+from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+
+SCHEMES = ("gcp-bim-0.7", "ipm", "ipm+mr", "ideal")
+
+
+class Fig18Throughput(Experiment):
+    exp_id = "fig18"
+    title = "Normalized write throughput (over DIMM+chip)"
+    paper_claim = (
+        "GCP ~1.59x; GCP+IPM+MR ~3.4x; Ideal ~22% above full FPB "
+        "(Figure 18)."
+    )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        rows = speedup_rows(
+            config, scale, SCHEMES, baseline="dimm+chip", metric="throughput",
+        )
+        return ExperimentResult(
+            self.exp_id, self.title, ["workload", *SCHEMES], rows,
+            paper_claim=self.paper_claim,
+            notes="metric: line writes per write-active kilocycle, "
+                  "relative to DIMM+chip.",
+        )

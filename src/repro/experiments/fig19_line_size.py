@@ -1,0 +1,49 @@
+"""Figure 19: FPB speedup for different memory line sizes.
+
+FPB (IPM+MR over GCP-BIM-0.7) vs the DIMM+chip baseline *of the same
+line size*. The paper: gains grow with line size — 41.3% (64B), 61.8%
+(128B), 75.6% (256B) — because bigger lines change more cells per write
+and stress the budgets harder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.metrics import gmean
+from ..config.presets import LINE_SIZE_SWEEP
+from ..config.system import SystemConfig
+from .base import Experiment, ExperimentResult, RunScale, sim
+
+
+class Fig19LineSize(Experiment):
+    exp_id = "fig19"
+    title = "FPB speedup for 64/128/256-byte lines"
+    paper_claim = (
+        "FPB gains 41.3% / 61.8% / 75.6% for 64B / 128B / 256B lines "
+        "(Figure 19)."
+    )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        columns = ["workload"] + [f"{line}B" for line in LINE_SIZE_SWEEP]
+        rows: List[Dict[str, object]] = []
+        per_col: Dict[str, List[float]] = {c: [] for c in columns[1:]}
+        for workload in scale.workloads:
+            row: Dict[str, object] = {"workload": workload}
+            for line in LINE_SIZE_SWEEP:
+                cfg = config.with_line_size(line)
+                base = sim(cfg, workload, "dimm+chip", scale)
+                fpb = sim(cfg, workload, "fpb", scale)
+                value = fpb.speedup_over(base)
+                row[f"{line}B"] = value
+                per_col[f"{line}B"].append(value)
+            rows.append(row)
+        gmean_row: Dict[str, object] = {"workload": "gmean"}
+        for col, values in per_col.items():
+            gmean_row[col] = gmean(values)
+        rows.append(gmean_row)
+        return ExperimentResult(
+            self.exp_id, self.title, columns, rows,
+            paper_claim=self.paper_claim,
+            notes="each column normalized to DIMM+chip at the same line size.",
+        )

@@ -1,0 +1,48 @@
+"""Figure 22: FPB speedup under different DIMM power-token budgets.
+
+466 / 532 / 598 tokens (one LCP's worth less or more than baseline),
+each normalized to DIMM+chip with the same budget. The paper: FPB does
+*better* with a tighter budget — careful budgeting matters most when
+power is scarce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.metrics import gmean
+from ..config.presets import POWER_TOKEN_SWEEP
+from ..config.system import SystemConfig
+from .base import Experiment, ExperimentResult, RunScale, sim
+
+
+class Fig22Tokens(Experiment):
+    exp_id = "fig22"
+    title = "FPB speedup for 466/532/598 DIMM power tokens"
+    paper_claim = (
+        "FPB helps more when the power budget is tighter (Figure 22)."
+    )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        columns = ["workload"] + [str(int(t)) for t in POWER_TOKEN_SWEEP]
+        rows: List[Dict[str, object]] = []
+        per_col: Dict[str, List[float]] = {c: [] for c in columns[1:]}
+        for workload in scale.workloads:
+            row: Dict[str, object] = {"workload": workload}
+            for tokens in POWER_TOKEN_SWEEP:
+                cfg = config.with_dimm_tokens(tokens)
+                base = sim(cfg, workload, "dimm+chip", scale)
+                fpb = sim(cfg, workload, "fpb", scale)
+                value = fpb.speedup_over(base)
+                row[str(int(tokens))] = value
+                per_col[str(int(tokens))].append(value)
+            rows.append(row)
+        gmean_row: Dict[str, object] = {"workload": "gmean"}
+        for col, values in per_col.items():
+            gmean_row[col] = gmean(values)
+        rows.append(gmean_row)
+        return ExperimentResult(
+            self.exp_id, self.title, columns, rows,
+            paper_claim=self.paper_claim,
+            notes="each column normalized to DIMM+chip with the same budget.",
+        )

@@ -1,0 +1,114 @@
+"""The paper's reported numbers, as structured data.
+
+Every quantitative claim in the evaluation section (Sections 2.2 and 6)
+is recorded here so experiments, tests and EXPERIMENTS.md can compare
+measured results against the paper without grepping the PDF. All
+speedups are relative to DIMM+chip unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One reported value and where it comes from."""
+
+    exp_id: str
+    metric: str
+    value: float
+    source: str
+    note: str = ""
+
+
+#: Figure 4 (Section 2.2), normalized to Ideal.
+FIG4_VS_IDEAL: Dict[str, float] = {
+    "dimm-only": 0.67,    # "33% performance loss"
+    "dimm+chip": 0.49,    # "51% performance loss"
+}
+
+#: Figure 11: GCP with naive mapping, over DIMM+chip.
+FIG11_GCP_NE: Dict[float, float] = {
+    0.95: 1.363,
+    0.70: 1.237,
+    0.50: 1.028,
+}
+
+#: Figure 12: mapping optimizations at E=0.7, loss vs DIMM-only.
+FIG12_LOSS_VS_DIMM_ONLY: Dict[str, float] = {
+    "vim": 0.02,
+    "bim": 0.014,
+}
+
+#: Figure 13 / Table 3: maximum GCP tokens requested.
+FIG13_MAX_TOKENS: Dict[str, float] = {"ne": 66, "vim": 16, "bim": 28}
+
+#: Table 3: pump area overhead (% of the baseline 560 tokens).
+TAB3_OVERHEAD_PERCENT: Dict[str, float] = {
+    "2xlocal": 100.0,
+    "gcp-ne-0.95": 12.5,
+    "gcp-ne-0.70": 16.4,
+    "gcp-vim-0.95": 3.1,
+    "gcp-vim-0.70": 4.1,
+    "gcp-bim-0.95": 5.4,
+    "gcp-bim-0.70": 7.1,
+}
+
+#: Figure 14: GCP token-request reduction vs naive mapping at E=0.7.
+FIG14_REDUCTION: Dict[str, float] = {"vim": 0.785, "bim": 0.644}
+
+#: Figure 16 (Section 6.2.1).
+FIG16_GAINS = {
+    "ipm_over_gcp_bim": 0.269,
+    "ipm_mr_over_gcp_bim": 0.307,
+    "ipm_mr_over_dimm_chip": 0.756,
+    "gap_to_ideal": 0.122,
+}
+
+#: Figure 17: best Multi-RESET split count and the loss at 4.
+FIG17_BEST_SPLITS = 3
+FIG17_LOSS_AT_4 = 0.02
+
+#: Figure 18: write-throughput gains over DIMM+chip.
+FIG18_THROUGHPUT = {
+    "gcp": 1.588,
+    "full_fpb": 3.4,
+    "gap_to_ideal": 0.22,
+}
+
+#: Figures 19-21: FPB gain (over same-config DIMM+chip) per sweep value.
+FIG19_LINE_SIZE: Dict[int, float] = {64: 1.413, 128: 1.618, 256: 1.756}
+FIG20_LLC_MB: Dict[int, float] = {8: 1.399, 16: 1.621, 32: 1.756, 128: 1.234}
+FIG21_WRQ: Dict[int, float] = {24: 1.756, 48: 1.852, 96: 1.881}
+
+#: Figure 23: the full FPB+WC+WP+WT stack over DIMM+chip.
+FIG23_FULL_STACK = 2.758
+
+#: Figure 10: average write-burst residency of the baseline.
+FIG10_MEAN_BURST = 0.522
+
+#: Abstract/conclusion headline numbers.
+HEADLINE = {
+    "performance_gain": 0.76,
+    "throughput_gain": 3.4,
+}
+
+
+def expected_ordering(values: Dict[str, float]) -> Tuple[str, ...]:
+    """Keys sorted by the paper's expected value, ascending — handy for
+    asserting orderings rather than magnitudes."""
+    return tuple(sorted(values, key=values.get))
+
+
+def within(measured: float, paper: float,
+           rel_tol: float = 0.5) -> Optional[str]:
+    """None if ``measured`` is within ``rel_tol`` of the paper's value,
+    else a human-readable discrepancy string."""
+    if paper == 0:
+        return None
+    rel = abs(measured - paper) / abs(paper)
+    if rel <= rel_tol:
+        return None
+    return f"measured {measured:.3f} vs paper {paper:.3f} ({rel:.0%} off)"

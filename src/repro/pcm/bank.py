@@ -1,0 +1,71 @@
+"""Logical PCM bank state.
+
+A bank is interleaved across all chips of the DIMM (Figure 1). Timing
+occupancy is tracked here: a bank serves one access at a time, except
+that write pausing can preempt an in-flight write at an iteration
+boundary to serve a read (Section 6.4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchedulingError
+
+
+class PCMBank:
+    """Occupancy bookkeeping for one logical bank."""
+
+    def __init__(self, bank_id: int):
+        self.bank_id = bank_id
+        self.busy_until = 0
+        #: The in-flight write occupying the bank, if any (opaque handle
+        #: owned by the scheduler).
+        self.active_write: Optional[object] = None
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def is_free(self, now: int) -> bool:
+        return self.active_write is None and now >= self.busy_until
+
+    def start_read(self, now: int, duration: int) -> int:
+        """Occupy the bank for a read; returns the completion time."""
+        if not self.is_free(now):
+            raise SchedulingError(
+                f"bank {self.bank_id}: read issued while busy "
+                f"(until {self.busy_until}, write={self.active_write!r})"
+            )
+        self.busy_until = now + duration
+        self.reads_served += 1
+        return self.busy_until
+
+    def start_write(self, now: int, write: object) -> None:
+        """Attach an in-flight write; it occupies the bank until detached."""
+        if not self.is_free(now):
+            raise SchedulingError(
+                f"bank {self.bank_id}: write issued while busy"
+            )
+        self.active_write = write
+
+    def finish_write(self, now: int, write: object) -> None:
+        if self.active_write is not write:
+            raise SchedulingError(
+                f"bank {self.bank_id}: finishing a write that is not active"
+            )
+        self.active_write = None
+        self.busy_until = max(self.busy_until, now)
+        self.writes_served += 1
+
+    def detach_write(self, write: object) -> None:
+        """Remove a write without counting it served (cancellation/pause)."""
+        if self.active_write is not write:
+            raise SchedulingError(
+                f"bank {self.bank_id}: detaching a write that is not active"
+            )
+        self.active_write = None
+
+    def __repr__(self) -> str:
+        return (
+            f"PCMBank(id={self.bank_id}, busy_until={self.busy_until}, "
+            f"active_write={self.active_write is not None})"
+        )

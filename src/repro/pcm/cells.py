@@ -1,0 +1,94 @@
+"""MLC/SLC cell-level data representation.
+
+A 2-bit MLC cell stores one of four resistance levels; we index them
+0..3 and name them with the paper's bit-pair labels '00', '01', '10',
+'11'. Lines of bytes are converted to per-cell level arrays so the
+simulator can diff old vs. new data to find the cells a write must
+actually change (differential write, Section 2.1.1: "only a subset of
+cells in the line need to be changed").
+
+Cell ``i`` of a line holds bits ``[bits_per_cell*i, bits_per_cell*(i+1))``
+counted little-endian from byte 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MappingError
+
+#: Level names for 2-bit MLC, indexed by level value.
+MLC_LEVEL_NAMES = ("00", "01", "10", "11")
+
+
+def bytes_to_levels(data: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Unpack a byte array into per-cell level values.
+
+    ``data`` must be a 1-D ``uint8`` array. Returns a ``uint8`` array of
+    length ``len(data) * 8 / bits_per_cell``.
+
+    >>> bytes_to_levels(np.array([0b11100100], dtype=np.uint8), 2)
+    array([0, 1, 2, 3], dtype=uint8)
+    """
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    if bits_per_cell == 1:
+        return np.unpackbits(data, bitorder="little")
+    if bits_per_cell == 2:
+        out = np.empty(data.size * 4, dtype=np.uint8)
+        out[0::4] = data & 0x3
+        out[1::4] = (data >> 2) & 0x3
+        out[2::4] = (data >> 4) & 0x3
+        out[3::4] = (data >> 6) & 0x3
+        return out
+    raise MappingError(f"unsupported bits_per_cell: {bits_per_cell}")
+
+
+def levels_to_bytes(levels: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Pack per-cell level values back into a byte array (inverse of
+    :func:`bytes_to_levels`)."""
+    levels = np.ascontiguousarray(levels, dtype=np.uint8)
+    if bits_per_cell == 1:
+        if levels.size % 8:
+            raise MappingError("SLC level count must be a multiple of 8")
+        return np.packbits(levels, bitorder="little")
+    if bits_per_cell == 2:
+        if levels.size % 4:
+            raise MappingError("MLC level count must be a multiple of 4")
+        quads = levels.reshape(-1, 4)
+        out = (
+            quads[:, 0]
+            | (quads[:, 1] << 2)
+            | (quads[:, 2] << 4)
+            | (quads[:, 3] << 6)
+        )
+        return out.astype(np.uint8)
+    raise MappingError(f"unsupported bits_per_cell: {bits_per_cell}")
+
+
+def changed_cells(
+    old_data: np.ndarray, new_data: np.ndarray, bits_per_cell: int
+) -> np.ndarray:
+    """Indices of the cells whose level differs between two lines.
+
+    This is the set of cells a differential write must program.
+    """
+    if old_data.size != new_data.size:
+        raise MappingError(
+            f"line size mismatch: {old_data.size} vs {new_data.size} bytes"
+        )
+    old_levels = bytes_to_levels(old_data, bits_per_cell)
+    new_levels = bytes_to_levels(new_data, bits_per_cell)
+    return np.flatnonzero(old_levels != new_levels)
+
+
+def changed_cell_targets(
+    old_data: np.ndarray, new_data: np.ndarray, bits_per_cell: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Changed cell indices plus the target level of each changed cell.
+
+    The target level selects the iteration-count model (Table 1).
+    """
+    old_levels = bytes_to_levels(old_data, bits_per_cell)
+    new_levels = bytes_to_levels(new_data, bits_per_cell)
+    idx = np.flatnonzero(old_levels != new_levels)
+    return idx, new_levels[idx]

@@ -1,0 +1,75 @@
+"""Sparse PCM line-content store.
+
+A 4 GB PCM image cannot be held densely in memory, but only lines that
+are actually written need storage. Unwritten lines read as all zeros
+(the paper's examples assume "the memory initially contains all 0s",
+Section 2.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+class LineStore:
+    """Maps line-aligned addresses to their current byte contents."""
+
+    def __init__(self, line_size: int):
+        if line_size <= 0:
+            raise TraceError(f"line size must be positive, got {line_size}")
+        self.line_size = line_size
+        self._lines: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def addresses(self) -> Iterator[int]:
+        return iter(self._lines)
+
+    def _check_aligned(self, line_addr: int) -> None:
+        if line_addr % self.line_size:
+            raise TraceError(
+                f"address {line_addr:#x} is not {self.line_size}-byte aligned"
+            )
+
+    def read(self, line_addr: int) -> np.ndarray:
+        """Current contents of a line (zeros if never written).
+
+        Returns a copy; mutating it does not affect the store.
+        """
+        self._check_aligned(line_addr)
+        line = self._lines.get(line_addr)
+        if line is None:
+            return np.zeros(self.line_size, dtype=np.uint8)
+        return line.copy()
+
+    def write(self, line_addr: int, data: np.ndarray) -> None:
+        """Replace the contents of a line."""
+        self._check_aligned(line_addr)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.line_size:
+            raise TraceError(
+                f"line data must be {self.line_size} bytes, got {data.size}"
+            )
+        self._lines[line_addr] = data.copy()
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        """Write an arbitrary (possibly unaligned) byte span."""
+        data = np.frombuffer(payload, dtype=np.uint8)
+        pos = 0
+        while pos < data.size:
+            line_addr = (addr + pos) // self.line_size * self.line_size
+            line_off = (addr + pos) - line_addr
+            n = min(self.line_size - line_off, data.size - pos)
+            line = self._lines.setdefault(
+                line_addr, np.zeros(self.line_size, dtype=np.uint8)
+            )
+            line[line_off:line_off + n] = data[pos:pos + n]
+            pos += n

@@ -1,0 +1,138 @@
+"""MLC resistance-drift model (Zhang & Li, DSN 2011 — the paper's [30]).
+
+Amorphous-phase PCM resistance drifts upward over time following a
+power law::
+
+    R(t) = R0 * (t / t0) ** nu
+
+with drift exponent ``nu`` largest for the intermediate (partially
+amorphous) levels. Drift matters to FPB in one place: Multi-RESET
+stalls RESET-complete cells until the remaining groups finish
+(Section 3.2), and the paper argues "due to the short latency pause
+after RESET, MLC resistance drift can be ignored". This module lets
+that argument be *checked* quantitatively: the drift over a few extra
+RESET pulses (hundreds of nanoseconds) is orders of magnitude below a
+level's sensing margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigError
+
+#: Per-level nominal resistances (ohms) for 2-bit MLC, '00' (fully
+#: crystalline, lowest R) .. '11' (fully amorphous, highest R).
+DEFAULT_LEVEL_RESISTANCES = (5e3, 30e3, 180e3, 1.2e6)
+
+#: Per-level drift exponents: crystalline barely drifts, intermediate
+#: levels drift most (values in the range reported by [30] and [14]).
+DEFAULT_DRIFT_EXPONENTS = (0.001, 0.02, 0.06, 0.03)
+
+#: Normalization time t0 (seconds) for the power law.
+DEFAULT_T0 = 1e-6
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Power-law drift for the four 2-bit MLC levels."""
+
+    level_resistances: Tuple[float, ...] = DEFAULT_LEVEL_RESISTANCES
+    drift_exponents: Tuple[float, ...] = DEFAULT_DRIFT_EXPONENTS
+    t0_seconds: float = DEFAULT_T0
+    #: Sensing boundaries between adjacent levels, derived as geometric
+    #: means of neighbouring nominal resistances.
+    boundaries: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.level_resistances) != len(self.drift_exponents):
+            raise ConfigError("resistances and exponents must align")
+        if any(r <= 0 for r in self.level_resistances):
+            raise ConfigError("resistances must be positive")
+        if sorted(self.level_resistances) != list(self.level_resistances):
+            raise ConfigError("level resistances must be increasing")
+        if self.t0_seconds <= 0:
+            raise ConfigError("t0 must be positive")
+        if not self.boundaries:
+            bounds = tuple(
+                (a * b) ** 0.5
+                for a, b in zip(self.level_resistances,
+                                self.level_resistances[1:])
+            )
+            object.__setattr__(self, "boundaries", bounds)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.level_resistances)
+
+    def resistance_at(self, level: int, elapsed_seconds: float) -> float:
+        """Resistance of a cell programmed to ``level`` after
+        ``elapsed_seconds``."""
+        self._check_level(level)
+        if elapsed_seconds < 0:
+            raise ConfigError("elapsed time must be non-negative")
+        r0 = self.level_resistances[level]
+        if elapsed_seconds <= self.t0_seconds:
+            return r0
+        ratio = elapsed_seconds / self.t0_seconds
+        return r0 * ratio ** self.drift_exponents[level]
+
+    def sensed_level(self, resistance: float) -> int:
+        """Which level a read operation decodes a resistance as."""
+        for level, bound in enumerate(self.boundaries):
+            if resistance < bound:
+                return level
+        return self.n_levels - 1
+
+    def time_to_misread(self, level: int) -> float:
+        """Seconds until drift pushes ``level`` across its upper sense
+        boundary (infinity for the top level or non-drifting cells)."""
+        self._check_level(level)
+        if level >= self.n_levels - 1:
+            return float("inf")
+        import math
+
+        nu = self.drift_exponents[level]
+        if nu <= 0:
+            return float("inf")
+        bound = self.boundaries[level]
+        r0 = self.level_resistances[level]
+        # Work in the log domain: tiny exponents make the horizon
+        # astronomically large and overflow plain float powers.
+        log_ratio = math.log(bound / r0) / nu
+        if log_ratio > 700.0:  # e^700 ~ 1e304, the float ceiling
+            return float("inf")
+        return self.t0_seconds * math.exp(log_ratio)
+
+    def margin_consumed(self, level: int, elapsed_seconds: float) -> float:
+        """Fraction of the level's sensing margin eaten by drift after
+        ``elapsed_seconds`` (log-resistance scale; 1.0 = misread)."""
+        import math
+
+        self._check_level(level)
+        if level >= self.n_levels - 1:
+            return 0.0
+        r_now = self.resistance_at(level, elapsed_seconds)
+        r0 = self.level_resistances[level]
+        bound = self.boundaries[level]
+        total = math.log(bound / r0)
+        used = math.log(r_now / r0)
+        return max(0.0, used / total) if total > 0 else 0.0
+
+    def multi_reset_pause_is_safe(
+        self,
+        pause_seconds: float,
+        margin_budget: float = 0.05,
+    ) -> bool:
+        """The paper's Section 3.2 claim, checkable: a Multi-RESET pause
+        of ``pause_seconds`` consumes less than ``margin_budget`` of any
+        level's sensing margin."""
+        return all(
+            self.margin_consumed(level, pause_seconds) < margin_budget
+            for level in range(self.n_levels)
+        )
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.n_levels:
+            raise ConfigError(f"level {level} out of range")

@@ -1,0 +1,175 @@
+"""Error-correcting codes for PCM lines.
+
+Write truncation [10] stops a line write while a few slow cells are
+still unprogrammed and relies on ECC to correct them on read. This
+module supplies that substrate:
+
+* a real **Hamming SEC-DED (72,64)** codec over 64-bit words — single
+  error corrected, double error detected, the classic DRAM/PCM word
+  code — implemented bit-for-bit so tests can inject faults; and
+* a **line-level correction budget** model that turns an ECC
+  organisation into the ``truncation_max_cells`` parameter the write
+  path uses (how many cells per line may be left wrong).
+
+A 2-bit MLC cell holds two data bits, and a truncated cell may corrupt
+both; a word-level SECDED code therefore guarantees correction only if
+each truncated cell falls in a distinct word *and* only one of its two
+bits is wrong. Stronger per-line BCH is what real designs (and [10])
+use; we model its capability as a correctable-cell count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Data bits per SECDED word.
+DATA_BITS = 64
+#: Check bits for Hamming(72,64): 7 Hamming bits + 1 overall parity.
+CHECK_BITS = 8
+TOTAL_BITS = DATA_BITS + CHECK_BITS
+
+# Positions 1..71 in the classic Hamming layout; powers of two hold
+# check bits, the rest hold data bits in order.
+_PARITY_POSITIONS = tuple(1 << i for i in range(7))  # 1,2,4,8,16,32,64
+_DATA_POSITIONS = tuple(
+    pos for pos in range(1, TOTAL_BITS) if pos not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == 64
+
+
+def _bits_of(value: int, n: int) -> List[int]:
+    return [(value >> i) & 1 for i in range(n)]
+
+
+def encode_word(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SECDED codeword."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ConfigError("data must be an unsigned 64-bit value")
+    code = [0] * (TOTAL_BITS + 1)  # 1-indexed positions 1..71 + slot 0
+    for bit, pos in zip(_bits_of(data, DATA_BITS), _DATA_POSITIONS):
+        code[pos] = bit
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, TOTAL_BITS):
+            if pos & parity_pos and pos != parity_pos:
+                parity ^= code[pos]
+        code[parity_pos] = parity
+    # Overall parity (slot 0) covers every other bit: DED capability.
+    code[0] = 0
+    code[0] = sum(code) & 1
+    word = 0
+    for i, bit in enumerate(code):
+        word |= bit << i
+    return word
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data: int
+    corrected: bool
+    detected_uncorrectable: bool
+
+
+def decode_word(codeword: int) -> DecodeResult:
+    """Decode a 72-bit codeword; corrects 1 flipped bit, detects 2."""
+    if not 0 <= codeword < (1 << TOTAL_BITS):
+        raise ConfigError("codeword must fit in 72 bits")
+    code = _bits_of(codeword, TOTAL_BITS)
+    syndrome = 0
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, TOTAL_BITS):
+            if pos & parity_pos:
+                parity ^= code[pos]
+        if parity:
+            syndrome |= parity_pos
+    overall = sum(code) & 1
+
+    corrected = False
+    uncorrectable = False
+    if syndrome and overall:
+        # Single-bit error at `syndrome` (which may be a check bit).
+        if syndrome < TOTAL_BITS:
+            code[syndrome] ^= 1
+        corrected = True
+    elif syndrome and not overall:
+        uncorrectable = True  # double-bit error detected
+    elif not syndrome and overall:
+        code[0] ^= 1  # error in the overall parity bit itself
+        corrected = True
+
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        data |= code[pos] << i
+    return DecodeResult(
+        data=data, corrected=corrected, detected_uncorrectable=uncorrectable
+    )
+
+
+def encode_line(words: np.ndarray) -> np.ndarray:
+    """Encode an array of uint64 data words into uint128-as-object
+    codewords (Python ints; 72 bits each)."""
+    return np.array([encode_word(int(w)) for w in words], dtype=object)
+
+
+@dataclass(frozen=True)
+class LineECC:
+    """Line-level correction budget for write truncation.
+
+    ``correctable_cells`` is how many 2-bit cells per line the line
+    code can repair — the direct source of the scheduler's
+    ``truncation_max_cells``. The default (8 cells per 64B sector of a
+    256B line -> conservative 8 per line) mirrors [10]'s strengthened
+    per-line BCH.
+    """
+
+    correctable_cells: int = 8
+    detectable_cells: int = 16
+
+    def __post_init__(self) -> None:
+        if self.correctable_cells < 0:
+            raise ConfigError("correctable_cells must be non-negative")
+        if self.detectable_cells < self.correctable_cells:
+            raise ConfigError("detection must be at least correction")
+
+    def can_truncate(self, cells_remaining: int) -> bool:
+        """May a write stop with this many unprogrammed cells?"""
+        return cells_remaining <= self.correctable_cells
+
+    def storage_overhead_bits(self, line_bytes: int) -> int:
+        """Extra bits per line if built from SECDED words (the floor;
+        real BCH is denser)."""
+        words = line_bytes * 8 // DATA_BITS
+        return words * CHECK_BITS
+
+
+def inject_and_recover(
+    data_words: np.ndarray,
+    flip: List[Tuple[int, int]],
+) -> Tuple[np.ndarray, int, int]:
+    """Fault-injection helper: encode ``data_words``, flip the given
+    ``(word_index, bit_position)`` pairs, decode, and report.
+
+    Returns (recovered words, corrected count, uncorrectable count).
+    """
+    codewords = [encode_word(int(w)) for w in data_words]
+    for word_idx, bit in flip:
+        if not 0 <= bit < TOTAL_BITS:
+            raise ConfigError(f"bit {bit} out of codeword range")
+        codewords[word_idx] ^= 1 << bit
+    recovered = np.zeros(len(codewords), dtype=np.uint64)
+    corrected = 0
+    uncorrectable = 0
+    for i, cw in enumerate(codewords):
+        result = decode_word(cw)
+        recovered[i] = result.data
+        corrected += result.corrected
+        uncorrectable += result.detected_uncorrectable
+    return recovered, corrected, uncorrectable

@@ -1,0 +1,127 @@
+"""Cell-to-chip mappings (Section 4.3, Figure 9).
+
+A memory line's cells are striped across the DIMM's chips. How they are
+striped determines how balanced per-chip cell changes are, and therefore
+how often a hot chip exhausts its local charge pump:
+
+* **Naive (NE)** — consecutive cells in the same chip (Figure 9b). A
+  changed machine word lands entirely in one chip.
+* **VIM** — vertical interleaving, ``chip = cell mod n_chips`` (Eq. 2,
+  Figure 9c). Spreads each word across chips; good for FP data.
+* **BIM** — braided interleaving,
+  ``chip = (cell - cell // cells_per_word) mod n_chips`` (Eq. 3,
+  Figure 9d). Additionally staggers the low-order cells of successive
+  words onto different chips; good for integer data.
+
+Intra-line wear leveling (the PWL strawman of Section 2.2) is modelled
+as a rotation offset applied to cell indices before mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from ..errors import MappingError
+
+#: Cells per machine word used by BIM's stagger (Eq. 3 uses 16: a 32-bit
+#: word stored in 2-bit cells).
+CELLS_PER_WORD = 16
+
+
+class CellMapping:
+    """Maps line-local cell indices to chip indices.
+
+    Subclasses implement :meth:`_chip_of`; the base class precomputes the
+    full index->chip vector so per-write lookups are a single fancy-index.
+    """
+
+    name = "base"
+
+    def __init__(self, n_cells: int, n_chips: int):
+        if n_cells <= 0 or n_chips <= 0:
+            raise MappingError("n_cells and n_chips must be positive")
+        if n_cells % n_chips:
+            raise MappingError(
+                f"{n_cells} cells cannot be striped evenly over {n_chips} chips"
+            )
+        self.n_cells = n_cells
+        self.n_chips = n_chips
+        self._chip_vec = self._chip_of(np.arange(n_cells))
+        counts = np.bincount(self._chip_vec, minlength=n_chips)
+        if not (counts == n_cells // n_chips).all():
+            raise MappingError(
+                f"{self.name} mapping is unbalanced: {counts.tolist()}"
+            )
+
+    def _chip_of(self, cell_index: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def chip_of(self, cell_index: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Chip index for each cell, after an optional wear-leveling
+        rotation of the line by ``offset`` cells."""
+        idx = np.asarray(cell_index)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_cells):
+            raise MappingError("cell index out of range")
+        if offset:
+            idx = (idx + offset) % self.n_cells
+        return self._chip_vec[idx]
+
+    def counts_by_chip(self, cell_index: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Number of the given cells living in each chip."""
+        chips = self.chip_of(cell_index, offset)
+        return np.bincount(chips, minlength=self.n_chips)
+
+
+class NaiveMapping(CellMapping):
+    """Consecutive cells stored in the same chip (Figure 9b)."""
+
+    name = "naive"
+
+    def _chip_of(self, cell_index: np.ndarray) -> np.ndarray:
+        cells_per_chip = self.n_cells // self.n_chips
+        return cell_index // cells_per_chip
+
+
+class VIMMapping(CellMapping):
+    """Vertical Interleaving Mapping: ``chip = cell mod n_chips`` (Eq. 2)."""
+
+    name = "vim"
+
+    def _chip_of(self, cell_index: np.ndarray) -> np.ndarray:
+        return cell_index % self.n_chips
+
+
+class BIMMapping(CellMapping):
+    """Braided Interleaving Mapping (Eq. 3):
+    ``chip = (cell - cell // CELLS_PER_WORD) mod n_chips``."""
+
+    name = "bim"
+
+    def _chip_of(self, cell_index: np.ndarray) -> np.ndarray:
+        return (cell_index - cell_index // CELLS_PER_WORD) % self.n_chips
+
+
+_MAPPINGS: Dict[str, Type[CellMapping]] = {
+    cls.name: cls for cls in (NaiveMapping, VIMMapping, BIMMapping)
+}
+
+#: Aliases used in the paper's scheme names (GCP-NE-0.7 etc.).
+_ALIASES = {"ne": "naive"}
+
+
+def available_mappings() -> "tuple[str, ...]":
+    return tuple(sorted(_MAPPINGS))
+
+
+def make_mapping(name: str, n_cells: int, n_chips: int) -> CellMapping:
+    """Build a mapping by name ('naive'/'ne', 'vim', 'bim')."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        cls = _MAPPINGS[key]
+    except KeyError:
+        raise MappingError(
+            f"unknown cell mapping {name!r}; choose from {available_mappings()}"
+        ) from None
+    return cls(n_cells, n_chips)

@@ -1,0 +1,178 @@
+"""Morphable Memory System (Qureshi et al., ISCA 2010 — the paper's
+ref [21]).
+
+MMS exploits the latency/density trade-off of MLC PCM: a page can be
+stored in **MLC mode** (2 bits/cell, dense, slow writes) or **SLC
+mode** (1 bit/cell, half density, SLC-speed access). Hot pages are
+morphed to SLC while total capacity demand allows; under memory
+pressure, cold SLC pages are demoted back to MLC.
+
+This is the FPB paper's related-work context for why MLC write latency
+matters (Section 1 cites MMS as the page-level alternative; FPB instead
+fixes the power side). The manager here implements the full policy —
+access-frequency ranking with hysteresis, a capacity budget in
+MLC-equivalent pages, and morph-cost accounting — so MMS-style designs
+can be studied against FPB's workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+class PageMode(enum.Enum):
+    MLC = "mlc"
+    SLC = "slc"
+
+
+@dataclass
+class PageState:
+    mode: PageMode = PageMode.MLC
+    accesses: int = 0
+    #: Epoch-local access count (decayed each epoch).
+    recent: int = 0
+
+
+@dataclass
+class MorphStats:
+    promotions: int = 0
+    demotions: int = 0
+    slc_hits: int = 0
+    mlc_hits: int = 0
+    #: Line writes spent copying pages between modes.
+    morph_copy_writes: int = 0
+
+    @property
+    def slc_hit_fraction(self) -> float:
+        total = self.slc_hits + self.mlc_hits
+        return self.slc_hits / total if total else 0.0
+
+
+class MorphableMemory:
+    """Page-mode manager with a fixed physical-capacity budget.
+
+    ``capacity_pages`` is physical capacity counted in MLC pages; an SLC
+    page consumes two MLC pages' worth of cells. ``slc_budget_fraction``
+    bounds how much capacity may be spent on SLC speedup.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        *,
+        slc_budget_fraction: float = 0.25,
+        epoch_accesses: int = 1000,
+        promote_threshold: int = 8,
+        lines_per_page: int = 16,
+    ):
+        if capacity_pages <= 0:
+            raise ConfigError("capacity must be positive")
+        if not 0.0 <= slc_budget_fraction <= 1.0:
+            raise ConfigError("slc_budget_fraction must be in [0, 1]")
+        if epoch_accesses <= 0 or promote_threshold <= 0:
+            raise ConfigError("epoch/threshold must be positive")
+        self.capacity_pages = capacity_pages
+        self.slc_budget_fraction = slc_budget_fraction
+        self.epoch_accesses = epoch_accesses
+        self.promote_threshold = promote_threshold
+        self.lines_per_page = lines_per_page
+        self._pages: Dict[int, PageState] = {}
+        self._accesses_this_epoch = 0
+        self.stats = MorphStats()
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def slc_pages(self) -> int:
+        return sum(
+            1 for p in self._pages.values() if p.mode is PageMode.SLC
+        )
+
+    @property
+    def max_slc_pages(self) -> int:
+        """Each SLC page costs one *extra* MLC page of cells."""
+        return int(self.capacity_pages * self.slc_budget_fraction)
+
+    def mode_of(self, page: int) -> PageMode:
+        state = self._pages.get(page)
+        return state.mode if state else PageMode.MLC
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, page: int) -> PageMode:
+        """Record one access; returns the page's current mode (which
+        determines the latency the caller should charge)."""
+        state = self._pages.setdefault(page, PageState())
+        state.accesses += 1
+        state.recent += 1
+        if state.mode is PageMode.SLC:
+            self.stats.slc_hits += 1
+        else:
+            self.stats.mlc_hits += 1
+            if state.recent >= self.promote_threshold:
+                self._try_promote(page, state)
+        self._accesses_this_epoch += 1
+        if self._accesses_this_epoch >= self.epoch_accesses:
+            self._end_epoch()
+        return state.mode
+
+    def _try_promote(self, page: int, state: PageState) -> None:
+        if self.slc_pages < self.max_slc_pages:
+            state.mode = PageMode.SLC
+            self.stats.promotions += 1
+            self.stats.morph_copy_writes += self.lines_per_page
+            return
+        victim = self._coldest_slc_page(exclude=page)
+        if victim is None:
+            return
+        victim_state = self._pages[victim]
+        if victim_state.recent + self.promote_threshold // 2 < state.recent:
+            # Swap modes: demote the cold SLC page, promote the hot one.
+            victim_state.mode = PageMode.MLC
+            self.stats.demotions += 1
+            state.mode = PageMode.SLC
+            self.stats.promotions += 1
+            self.stats.morph_copy_writes += 2 * self.lines_per_page
+
+    def _coldest_slc_page(self, exclude: int) -> Optional[int]:
+        candidates = [
+            (state.recent, page)
+            for page, state in self._pages.items()
+            if state.mode is PageMode.SLC and page != exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _end_epoch(self) -> None:
+        """Decay recency so stale heat doesn't pin pages in SLC."""
+        self._accesses_this_epoch = 0
+        for state in self._pages.values():
+            state.recent //= 2
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def hottest_pages(self, k: int = 8) -> List[Tuple[int, int]]:
+        return heapq.nlargest(
+            k,
+            ((state.accesses, page) for page, state in self._pages.items()),
+        )
+
+    def capacity_in_use(self) -> int:
+        """Physical MLC-page equivalents consumed by tracked pages."""
+        return len(self._pages) + self.slc_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"MorphableMemory(pages={len(self._pages)}, "
+            f"slc={self.slc_pages}/{self.max_slc_pages}, "
+            f"slc_hit_frac={self.stats.slc_hit_fraction:.2f})"
+        )

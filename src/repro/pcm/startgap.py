@@ -1,0 +1,105 @@
+"""Start-Gap inter-line wear leveling (Qureshi et al., MICRO 2009 —
+the paper's ref [18]).
+
+Intra-line wear leveling (the PWL strawman) balances wear *within* a
+line; Start-Gap balances wear *across* lines by slowly rotating the
+logical-to-physical line mapping. One spare "gap" line sits in the
+region; every ``gap_write_interval`` writes, the line adjacent to the
+gap moves into it and the gap shifts by one. After N+1 gap movements
+every logical line has shifted by one physical slot, so hot logical
+lines sweep across all physical lines over time.
+
+Mapping (the original paper's formulation) for a region of ``n_lines``
+logical lines over ``n_lines + 1`` physical slots::
+
+    physical = (logical + start) mod n_lines
+    if physical >= gap: physical += 1   -- slots at/above the gap shifted
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+
+
+class StartGap:
+    """Start-Gap remapping state for one memory region."""
+
+    def __init__(self, n_lines: int, gap_write_interval: int = 100):
+        if n_lines <= 0:
+            raise ConfigError("n_lines must be positive")
+        if gap_write_interval <= 0:
+            raise ConfigError("gap_write_interval must be positive")
+        self.n_lines = n_lines
+        self.gap_write_interval = gap_write_interval
+        #: Physical slot currently left empty (0 .. n_lines).
+        self.gap = n_lines
+        #: Number of completed full gap rotations.
+        self.start = 0
+        self._writes_since_move = 0
+        self.gap_moves = 0
+
+    def physical_of(self, logical: int) -> int:
+        """Physical slot currently holding ``logical``."""
+        if not 0 <= logical < self.n_lines:
+            raise ConfigError(
+                f"logical line {logical} out of range [0, {self.n_lines})"
+            )
+        physical = (logical + self.start) % self.n_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def logical_of(self, physical: int) -> Optional[int]:
+        """Logical line stored in ``physical`` (None for the gap)."""
+        if not 0 <= physical <= self.n_lines:
+            raise ConfigError(
+                f"physical slot {physical} out of range [0, {self.n_lines}]"
+            )
+        if physical == self.gap:
+            return None
+        adjusted = physical if physical < self.gap else physical - 1
+        return (adjusted - self.start) % self.n_lines
+
+    def record_write(self) -> bool:
+        """Count one line write; returns True when the gap moved (which
+        costs one extra line copy in hardware)."""
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_write_interval:
+            return False
+        self._writes_since_move = 0
+        self._move_gap()
+        return True
+
+    def _move_gap(self) -> None:
+        self.gap_moves += 1
+        if self.gap == 0:
+            # The gap wraps: one full sweep completed, rotate start.
+            self.gap = self.n_lines
+            self.start = (self.start + 1) % self.n_lines
+        else:
+            self.gap -= 1
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def mapping_is_bijective(self) -> bool:
+        """Sanity: every logical line maps to a distinct non-gap slot."""
+        seen = set()
+        for logical in range(self.n_lines):
+            physical = self.physical_of(logical)
+            if physical == self.gap or physical in seen:
+                return False
+            seen.add(physical)
+        return True
+
+    def write_overhead_fraction(self) -> float:
+        """Extra writes caused by gap movement (1 per interval)."""
+        return 1.0 / self.gap_write_interval
+
+    def __repr__(self) -> str:
+        return (
+            f"StartGap(lines={self.n_lines}, gap={self.gap}, "
+            f"start={self.start}, moves={self.gap_moves})"
+        )

@@ -1,0 +1,44 @@
+"""PCM timing derived from Table 1, expressed in CPU cycles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.system import PCMConfig
+
+
+@dataclass(frozen=True)
+class PCMTiming:
+    """All device latencies in cycles at the configured core frequency.
+
+    Table 1 at 4 GHz: read 1000, RESET 500, SET 1000 cycles.
+    """
+
+    read_cycles: int
+    reset_cycles: int
+    set_cycles: int
+
+    @classmethod
+    def from_config(cls, pcm: PCMConfig, freq_ghz: float) -> "PCMTiming":
+        return cls(
+            read_cycles=pcm.read_cycles(freq_ghz),
+            reset_cycles=pcm.reset_cycles(freq_ghz),
+            set_cycles=pcm.set_cycles(freq_ghz),
+        )
+
+    def iteration_cycles(self, iteration_index: int, n_reset_iterations: int) -> int:
+        """Duration of one write iteration.
+
+        Iterations ``0 .. n_reset_iterations-1`` are RESET pulses (more
+        than one only under Multi-RESET); the rest are SET+verify
+        iterations.
+        """
+        if iteration_index < n_reset_iterations:
+            return self.reset_cycles
+        return self.set_cycles
+
+    def write_cycles(self, total_iterations: int, n_reset_iterations: int = 1) -> int:
+        """Total latency of a write with ``total_iterations`` iterations,
+        of which the first ``n_reset_iterations`` are RESETs."""
+        n_set = max(0, total_iterations - n_reset_iterations)
+        return n_reset_iterations * self.reset_cycles + n_set * self.set_cycles

@@ -1,0 +1,28 @@
+"""Power budgeting substrate: token pools, charge pumps, budgets."""
+
+from .budget import (
+    borrow_needed_for_output,
+    dimm_budget_identity,
+    gcp_tokens_from_borrow,
+    lcp_tokens_per_chip,
+)
+from .charge_pump import (
+    ChargePumpDesign,
+    area_overhead_fraction,
+    pump_input_tokens,
+)
+from .gcp import GCPGrant, GlobalChargePump
+from .tokens import TokenPool
+
+__all__ = [
+    "ChargePumpDesign",
+    "GCPGrant",
+    "GlobalChargePump",
+    "TokenPool",
+    "area_overhead_fraction",
+    "borrow_needed_for_output",
+    "dimm_budget_identity",
+    "gcp_tokens_from_borrow",
+    "lcp_tokens_per_chip",
+    "pump_input_tokens",
+]

@@ -1,0 +1,60 @@
+"""Power-budget derivations (Equations 4-6).
+
+Eq. 4:  PT_LCP  = PT_DIMM * E_LCP / n_chips
+Eq. 5:  PT_GCP  = sum_i(Borrowed_i / E_LCP) * E_GCP
+Eq. 6:  PT_DIMM = sum_i((PT_LCP - Borrowed_i) / E_LCP) + PT_GCP / E_GCP
+
+The checker below verifies Eq. 6 holds for any borrow vector — the GCP
+never creates power, it only converts borrowed chip power at a lower
+efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config.system import PowerConfig
+from ..errors import ConfigError
+
+
+def lcp_tokens_per_chip(power: PowerConfig, n_chips: int) -> float:
+    """Usable tokens of one local charge pump (Eq. 4)."""
+    if n_chips <= 0:
+        raise ConfigError("n_chips must be positive")
+    return power.lcp_tokens(n_chips)
+
+
+def gcp_tokens_from_borrow(
+    borrowed: Sequence[float], lcp_efficiency: float, gcp_efficiency: float
+) -> float:
+    """Usable GCP output obtained from per-chip borrowed tokens (Eq. 5)."""
+    if any(b < 0 for b in borrowed):
+        raise ConfigError("borrowed token counts must be non-negative")
+    input_power = sum(borrowed) / lcp_efficiency
+    return input_power * gcp_efficiency
+
+
+def borrow_needed_for_output(
+    output_tokens: float, lcp_efficiency: float, gcp_efficiency: float
+) -> float:
+    """Chip tokens that must be borrowed so the GCP can deliver
+    ``output_tokens`` (the inverse of Eq. 5)."""
+    if output_tokens < 0:
+        raise ConfigError("output_tokens must be non-negative")
+    return output_tokens * lcp_efficiency / gcp_efficiency
+
+
+def dimm_budget_identity(
+    lcp_tokens: float,
+    borrowed: Sequence[float],
+    lcp_efficiency: float,
+    gcp_efficiency: float,
+) -> float:
+    """Evaluate the right-hand side of Eq. 6.
+
+    For any valid borrow vector this equals the DIMM input budget
+    ``n_chips * lcp_tokens / E_LCP``, demonstrating conservation.
+    """
+    gcp_out = gcp_tokens_from_borrow(borrowed, lcp_efficiency, gcp_efficiency)
+    chips_term = sum((lcp_tokens - b) / lcp_efficiency for b in borrowed)
+    return chips_term + gcp_out / gcp_efficiency

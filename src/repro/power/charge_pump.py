@@ -1,0 +1,76 @@
+"""Charge-pump area and sizing model.
+
+PCM write voltages exceed Vdd, so chips integrate CMOS-compatible charge
+pumps [6, 17]. Equation 1 of the paper relates pump area to the maximum
+load current it can deliver:
+
+    A_tot = k * N^2 / ((N+1) * Vdd - Vout) * I_L / f
+
+Since everything except ``I_L`` is fixed for a given process, pump area
+is *proportional to the maximum current*, and hence to the maximum
+number of power tokens the pump must supply. Table 3 exploits this to
+compare GCP sizes with the 2xLocal strawman: overhead is measured in
+input tokens, i.e. ``max_output_tokens / efficiency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ChargePumpDesign:
+    """Electrical parameters of a Dickson-style charge pump (Eq. 1)."""
+
+    n_stages: int = 4
+    vdd: float = 1.8
+    vout: float = 3.0
+    frequency_hz: float = 20e6
+    k_area_per_farad: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_stages <= 0:
+            raise ConfigError("charge pump needs at least one stage")
+        if (self.n_stages + 1) * self.vdd <= self.vout:
+            raise ConfigError(
+                f"{self.n_stages} stages cannot pump {self.vdd} V to {self.vout} V"
+            )
+        if self.frequency_hz <= 0:
+            raise ConfigError("pump frequency must be positive")
+
+    def area(self, load_current_a: float) -> float:
+        """Total pump area (arbitrary units) for a given load current."""
+        if load_current_a < 0:
+            raise ConfigError("load current must be non-negative")
+        n = self.n_stages
+        headroom = (n + 1) * self.vdd - self.vout
+        return self.k_area_per_farad * n * n / headroom * load_current_a / self.frequency_hz
+
+
+def pump_input_tokens(max_output_tokens: float, efficiency: float) -> float:
+    """Input tokens a pump must draw to deliver ``max_output_tokens``.
+
+    This is Table 3's sizing rule, e.g. GCP-NE-0.70: 64 / 0.70 = 92.
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ConfigError(f"efficiency must be in (0, 1], got {efficiency}")
+    if max_output_tokens < 0:
+        raise ConfigError("max_output_tokens must be non-negative")
+    return max_output_tokens / efficiency
+
+
+def area_overhead_fraction(
+    pump_tokens: float, baseline_total_tokens: float
+) -> float:
+    """Pump size as a fraction of the DIMM's total baseline LCP size.
+
+    Table 3's baseline is 8 chips x 70 tokens = 560; 2xLocal adds another
+    560 (100% overhead), while GCP-VIM-0.70 adds only 23 (4.1%).
+    """
+    if baseline_total_tokens <= 0:
+        raise ConfigError("baseline token count must be positive")
+    if pump_tokens < 0:
+        raise ConfigError("pump token count must be non-negative")
+    return pump_tokens / baseline_total_tokens

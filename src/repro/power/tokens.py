@@ -1,0 +1,88 @@
+"""DIMM-level power-token pool.
+
+One token is the power to RESET one MLC cell (Section 3, Figure 5). The
+pool tracks Available Power Tokens (APT): allocations by in-flight write
+iterations may never exceed the DIMM budget. The pool also records APT
+statistics used by the experiments.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExceededError, TokenError
+
+TOKEN_EPS = 1e-9
+
+
+class TokenPool:
+    """A conserved pool of power tokens with floor/ceiling invariants."""
+
+    def __init__(self, budget: float, name: str = "dimm"):
+        if budget <= 0:
+            raise TokenError(f"{name}: budget must be positive, got {budget}")
+        self.name = name
+        self.budget = float(budget)
+        self.allocated = 0.0
+        # Statistics.
+        self.min_available = float(budget)
+        self._weighted_alloc = 0.0
+        self._last_time = 0
+        self.peak_allocated = 0.0
+
+    @property
+    def available(self) -> float:
+        """The paper's APT counter."""
+        return self.budget - self.allocated
+
+    def can_allocate(self, tokens: float) -> bool:
+        return tokens <= self.available + TOKEN_EPS
+
+    def allocate(self, tokens: float, now: int = 0) -> None:
+        if tokens < -TOKEN_EPS:
+            raise TokenError(f"{self.name}: negative allocation {tokens}")
+        if not self.can_allocate(tokens):
+            raise BudgetExceededError(
+                f"{self.name}: allocating {tokens:.3f} with only "
+                f"{self.available:.3f} available"
+            )
+        self._advance(now)
+        self.allocated = min(self.budget, self.allocated + max(0.0, tokens))
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+        self.min_available = min(self.min_available, self.available)
+
+    def release(self, tokens: float, now: int = 0) -> None:
+        if tokens < -TOKEN_EPS:
+            raise TokenError(f"{self.name}: negative release {tokens}")
+        if tokens > self.allocated + TOKEN_EPS:
+            raise TokenError(
+                f"{self.name}: releasing {tokens:.3f} of only "
+                f"{self.allocated:.3f} allocated"
+            )
+        self._advance(now)
+        self.allocated = max(0.0, self.allocated - tokens)
+
+    def resize(self, delta: float, now: int = 0) -> None:
+        """Adjust the budget (used by xLocal-style what-if experiments)."""
+        if self.budget + delta < self.allocated - TOKEN_EPS:
+            raise TokenError(
+                f"{self.name}: cannot shrink budget below current allocation"
+            )
+        self._advance(now)
+        self.budget += delta
+
+    def _advance(self, now: int) -> None:
+        if now > self._last_time:
+            self._weighted_alloc += self.allocated * (now - self._last_time)
+            self._last_time = now
+
+    def mean_allocated(self, now: int) -> float:
+        """Time-weighted mean allocation over [0, now]."""
+        self._advance(now)
+        if now <= 0:
+            return self.allocated
+        return self._weighted_alloc / now
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenPool({self.name}, budget={self.budget:.1f}, "
+            f"available={self.available:.1f})"
+        )

@@ -1,0 +1,40 @@
+"""Deterministic random-number management.
+
+Every stochastic component (iteration sampling, synthetic workloads)
+derives its generator from a single root seed so that a simulation run
+is exactly reproducible, and so that independent components draw from
+independent streams (changing how many numbers one component consumes
+never perturbs another).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int, *stream: object) -> np.random.Generator:
+    """Create an independent generator for a named stream.
+
+    ``stream`` components (strings/ints) are folded into the seed via
+    ``SeedSequence.spawn_key``-style entropy so distinct names yield
+    uncorrelated streams.
+
+    >>> a = make_rng(7, "write-model")
+    >>> b = make_rng(7, "workload", 3)
+    >>> a.integers(100) == make_rng(7, "write-model").integers(100)
+    True
+    """
+    entropy = [seed] + [_fold(part) for part in stream]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def _fold(part: object) -> int:
+    """Fold an arbitrary stream-name component into a 64-bit integer."""
+    if isinstance(part, (int, np.integer)):
+        return int(part) & 0xFFFFFFFFFFFFFFFF
+    # Stable across processes (unlike hash()): FNV-1a over the repr.
+    acc = 0xCBF29CE484222325
+    for byte in repr(part).encode():
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc

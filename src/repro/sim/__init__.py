@@ -1,0 +1,22 @@
+"""Event-driven timing simulation of the MLC PCM memory subsystem."""
+
+from .cpu import Core
+from .debug import Timeline, TimelineEvent
+from .events import SimEngine
+from .memory_system import MemorySystem, ReadRequest, WriteJob
+from .runner import SimResult, run_schemes, run_simulation
+from .stats import SimStats
+
+__all__ = [
+    "Core",
+    "MemorySystem",
+    "ReadRequest",
+    "SimEngine",
+    "SimResult",
+    "SimStats",
+    "Timeline",
+    "TimelineEvent",
+    "WriteJob",
+    "run_schemes",
+    "run_simulation",
+]

@@ -1,0 +1,78 @@
+"""Trace-replay cores.
+
+Each core replays its PCM access stream: it executes ``gap_instr``
+instructions (1 IPC, in-order) plus the recorded cache hit-latency
+cycles, then issues the access. Reads stall the core until data
+returns; writes are posted to the write queue (stalling only when the
+queue is full — the back-pressure that creates write bursts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..trace.records import PCMAccess, READ
+from .events import SimEngine
+from .memory_system import MemorySystem
+
+
+class Core:
+    """One in-order core replaying its trace stream."""
+
+    def __init__(
+        self,
+        core_id: int,
+        stream: List[PCMAccess],
+        engine: SimEngine,
+        mem: MemorySystem,
+        on_finish: Optional[Callable[[int, "Core"], None]] = None,
+    ):
+        self.core_id = core_id
+        self.stream = stream
+        self.engine = engine
+        self.mem = mem
+        self.on_finish = on_finish
+        self.index = 0
+        self.finish_time: Optional[int] = None
+        self.instructions = sum(acc.gap_instr for acc in stream)
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    def start(self) -> None:
+        self._schedule_next(0)
+
+    def _schedule_next(self, now: int) -> None:
+        if self.index >= len(self.stream):
+            self.finish_time = now
+            if self.on_finish:
+                self.on_finish(now, self)
+            return
+        record = self.stream[self.index]
+        delay = record.gap_instr + record.gap_hit_cycles
+        self.engine.schedule(now + delay, self._issue)
+
+    def _issue(self, now: int) -> None:
+        record = self.stream[self.index]
+        if record.kind == READ:
+            if not self.mem.submit_read(
+                self.core_id, record, now, self._read_done
+            ):
+                self.mem.wait_for_read_slot(self._issue)
+        else:
+            if self.mem.submit_write(self.core_id, record, now):
+                self.index += 1
+                self._schedule_next(now)
+            else:
+                self.mem.wait_for_write_slot(self._issue)
+
+    def _read_done(self, now: int) -> None:
+        self.index += 1
+        self._schedule_next(now)
+
+    def __repr__(self) -> str:
+        return (
+            f"Core({self.core_id}, {self.index}/{len(self.stream)} accesses, "
+            f"finished={self.finished})"
+        )

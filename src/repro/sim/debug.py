@@ -1,0 +1,126 @@
+"""Simulation event timeline recorder.
+
+An optional observer that captures a structured log of scheduling
+events (issues, iteration boundaries, stalls, bursts, cancellations) so
+library users can inspect *why* a scheme behaves the way it does, and
+tests can assert on ordering. Attach with::
+
+    timeline = Timeline()
+    mem = MemorySystem(...)
+    timeline.attach(mem)
+
+The recorder wraps the memory system's internal transitions without
+changing behaviour; overhead is one append per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .memory_system import MemorySystem
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One recorded scheduling event."""
+
+    time: int
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"@{self.time:>10d} {self.kind:<16s} {extras}"
+
+
+class Timeline:
+    """Collects :class:`TimelineEvent` records from a memory system."""
+
+    #: (method name, event kind, detail extractor) hooks.
+    _HOOKS = (
+        ("_begin_round", "write_issue",
+         lambda args: {"write": args[1].write_id, "bank": args[1].bank,
+                       "cells": args[1].n_changed,
+                       "mr": args[1].mr_splits}),
+        ("_iteration_boundary", "iteration_end",
+         lambda args: {"write": args[1].write_id, "iteration": args[2]}),
+        ("_finish_round", "write_round_done",
+         lambda args: {"write": args[1].write_id}),
+        ("_cancel_write", "write_cancelled",
+         lambda args: {"write": args[0].write_id}),
+        ("_pause_write", "write_paused",
+         lambda args: {"write": args[1].write_id, "iteration": args[2]}),
+        ("_start_read", "read_issue",
+         lambda args: {"bank": args[0].bank}),
+    )
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.events: List[TimelineEvent] = []
+        self.capacity = capacity
+        self._attached: Optional[MemorySystem] = None
+
+    def attach(self, mem: MemorySystem) -> "Timeline":
+        """Instrument a memory system (before the simulation runs)."""
+        if self._attached is not None:
+            raise RuntimeError("timeline already attached")
+        self._attached = mem
+        for method_name, kind, extract in self._HOOKS:
+            original = getattr(mem, method_name)
+            wrapped = self._wrap(original, kind, extract)
+            setattr(mem, method_name, wrapped)
+        # Burst transitions live inside _update_burst; observe via state.
+        original_update = mem._update_burst
+
+        def observed_update(now: int) -> None:
+            before = mem.in_burst
+            original_update(now)
+            if mem.in_burst != before:
+                self._record(now, "burst_start" if mem.in_burst
+                             else "burst_end", {})
+
+        mem._update_burst = observed_update
+        return self
+
+    def _wrap(self, original: Callable, kind: str,
+              extract: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            # Every hooked method takes `now` as its last positional arg.
+            now = args[-1] if args else 0
+            try:
+                detail = extract(args)
+            except Exception:  # extraction must never break the sim
+                detail = {}
+            self._record(int(now), kind, detail)
+            return original(*args, **kwargs)
+
+        return wrapped
+
+    def _record(self, time: int, kind: str, detail: Dict[str, object]) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(TimelineEvent(time, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TimelineEvent]:
+        """All recorded events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable rendering of the first ``limit`` events."""
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

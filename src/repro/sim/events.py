@@ -1,0 +1,67 @@
+"""Discrete-event simulation kernel.
+
+A single binary heap of ``(time, seq, callback)`` entries. The ``seq``
+tiebreaker makes same-cycle ordering deterministic (insertion order), so
+a simulation is exactly reproducible for a given trace and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[int], None]
+
+
+class SimEngine:
+    """Time-ordered callback dispatcher."""
+
+    def __init__(self, max_events: int = 200_000_000):
+        self._heap: List[Tuple[int, int, Callback]] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+        self._max_events = max_events
+
+    def schedule(self, when: int, callback: Callback) -> None:
+        """Run ``callback(time)`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})"
+            )
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callback) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self.now + delay, callback)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the heap is empty (or ``until`` passes).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            callback(when)
+            self.events_processed += 1
+            if self.events_processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events}); "
+                    "likely a scheduling livelock"
+                )
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"SimEngine(now={self.now}, pending={self.pending})"

@@ -1,0 +1,135 @@
+"""Simulation statistics collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimStats:
+    """Raw counters accumulated during one simulation run."""
+
+    # Work completed.
+    reads_done: int = 0
+    writes_done: int = 0
+    write_rounds_done: int = 0
+    cells_written: int = 0
+
+    # Latency accounting.
+    read_latency_sum: int = 0
+    write_latency_sum: int = 0
+    write_stall_cycles: int = 0
+
+    # Write-burst residency (Figure 10).
+    burst_cycles: int = 0
+    burst_entries: int = 0
+
+    # Cycles with at least one write in flight (throughput denominator).
+    write_active_cycles: int = 0
+
+    # FPB mechanics.
+    write_cancellations: int = 0
+    write_pauses: int = 0
+    multi_reset_writes: int = 0
+    round_split_writes: int = 0
+
+    # GCP usage (Figures 13/14, Table 3).
+    gcp_peak_output: float = 0.0
+    gcp_tokens_per_write_sum: float = 0.0
+    gcp_used_writes: int = 0
+
+    # Energy accounting (token = one cell RESET's power).
+    #: Time-integral of allocated DIMM input tokens (token-cycles).
+    dimm_token_cycles: float = 0.0
+    #: Cumulative GCP output tokens acquired.
+    gcp_tokens_acquired: float = 0.0
+    #: Conversion loss of the GCP: input minus output, in tokens
+    #: acquired (the energy-waste proxy behind Figure 14).
+    gcp_waste_tokens: float = 0.0
+
+    # Per-core results.
+    core_instructions: List[int] = field(default_factory=list)
+    core_finish_cycles: List[int] = field(default_factory=list)
+
+    total_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def cpi(self) -> float:
+        """Mean per-core CPI (the paper's Eq. 7 numerator/denominator).
+
+        A core with no PCM traffic contributes nothing; a run whose
+        trace is entirely cache-resident has CPI 1.0 by definition (the
+        in-order core's peak), so scheme comparisons degrade to 1.0x
+        speedups rather than dividing by zero.
+        """
+        ratios = [
+            finish / instr
+            for finish, instr in zip(self.core_finish_cycles, self.core_instructions)
+            if instr > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+    @property
+    def burst_fraction(self) -> float:
+        """Fraction of cycles spent in write bursts (Figure 10)."""
+        if not self.total_cycles:
+            return 0.0
+        return self.burst_cycles / self.total_cycles
+
+    @property
+    def write_throughput(self) -> float:
+        """Line writes completed per kilocycle of write-active time."""
+        if not self.write_active_cycles:
+            return 0.0
+        return 1000.0 * self.writes_done / self.write_active_cycles
+
+    @property
+    def mean_read_latency(self) -> float:
+        """Mean PCM read latency in cycles."""
+        return self.read_latency_sum / self.reads_done if self.reads_done else 0.0
+
+    @property
+    def mean_write_latency(self) -> float:
+        """Mean queue-to-completion write latency in cycles."""
+        return self.write_latency_sum / self.writes_done if self.writes_done else 0.0
+
+    def write_energy_uj(self, reset_power_uw: float, freq_ghz: float) -> float:
+        """Approximate write energy in microjoules: the time-integral of
+        allocated write power. (Per-write budgeting *allocates* more
+        than it consumes; FPB-IPM's allocation tracks consumption, so
+        this is exact for IPM and an upper bound otherwise.)"""
+        if freq_ghz <= 0:
+            return 0.0
+        seconds_per_cycle = 1e-9 / freq_ghz
+        watts_per_token = reset_power_uw * 1e-6
+        joules = self.dimm_token_cycles * seconds_per_cycle * watts_per_token
+        return joules * 1e6
+
+    @property
+    def mean_gcp_tokens_per_write(self) -> float:
+        """Average GCP tokens requested per line write (Figure 14's
+        metric: averaged over *all* writes, zero for writes that never
+        touch the GCP)."""
+        if not self.writes_done:
+            return 0.0
+        return self.gcp_tokens_per_write_sum / self.writes_done
+
+    def summary(self) -> Dict[str, float]:
+        """The headline counters as a plain dict."""
+        return {
+            "cycles": self.total_cycles,
+            "cpi": self.cpi,
+            "reads": self.reads_done,
+            "writes": self.writes_done,
+            "burst_fraction": self.burst_fraction,
+            "write_throughput": self.write_throughput,
+            "mean_read_latency": self.mean_read_latency,
+            "gcp_peak_output": self.gcp_peak_output,
+            "gcp_tokens_per_write": self.mean_gcp_tokens_per_write,
+            "cancellations": self.write_cancellations,
+            "pauses": self.write_pauses,
+        }

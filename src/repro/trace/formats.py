@@ -1,0 +1,128 @@
+"""Trace serialization.
+
+Traces are the expensive artifact of this pipeline (cache-hierarchy
+simulation over millions of references); persisting them lets a trace
+be generated once and replayed across processes and machines, like the
+paper's collected PIN traces. The format is a single compressed ``.npz``
+with columnar arrays plus ragged cell-change payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .records import PCMAccess, READ, Trace, TraceStats, WRITE
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, pathlib.Path]) -> None:
+    """Write a trace to ``path`` (.npz, compressed)."""
+    path = pathlib.Path(path)
+    cores: List[int] = []
+    kinds: List[int] = []
+    addrs: List[int] = []
+    gaps: List[int] = []
+    hits: List[int] = []
+    slc: List[int] = []
+    change_payload: List[np.ndarray] = []
+    iter_payload: List[np.ndarray] = []
+    change_lens: List[int] = []
+    for stream in trace.per_core:
+        for acc in stream:
+            cores.append(acc.core)
+            kinds.append(0 if acc.kind == READ else 1)
+            addrs.append(acc.line_addr)
+            gaps.append(acc.gap_instr)
+            hits.append(acc.gap_hit_cycles)
+            slc.append(acc.slc_bit_changes)
+            if acc.kind == WRITE:
+                change_payload.append(acc.changed_idx.astype(np.int32))
+                iter_payload.append(acc.iter_counts.astype(np.uint8))
+                change_lens.append(acc.changed_idx.size)
+            else:
+                change_lens.append(-1)
+
+    meta = {
+        "version": FORMAT_VERSION,
+        "workload": trace.workload,
+        "line_size": trace.line_size,
+        "n_cores": trace.n_cores,
+        "stats": {
+            "instructions": trace.stats.instructions,
+            "reads": trace.stats.reads,
+            "writes": trace.stats.writes,
+            "total_cells_changed": trace.stats.total_cells_changed,
+            "total_slc_bit_changes": trace.stats.total_slc_bit_changes,
+        },
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        core=np.asarray(cores, dtype=np.int16),
+        kind=np.asarray(kinds, dtype=np.int8),
+        addr=np.asarray(addrs, dtype=np.int64),
+        gap=np.asarray(gaps, dtype=np.int64),
+        hit=np.asarray(hits, dtype=np.int32),
+        slc=np.asarray(slc, dtype=np.int32),
+        change_len=np.asarray(change_lens, dtype=np.int32),
+        changes=(
+            np.concatenate(change_payload)
+            if change_payload else np.zeros(0, dtype=np.int32)
+        ),
+        iters=(
+            np.concatenate(iter_payload)
+            if iter_payload else np.zeros(0, dtype=np.uint8)
+        ),
+    )
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {meta.get('version')!r}"
+            )
+        trace = Trace(workload=meta["workload"], line_size=meta["line_size"])
+        trace.per_core = [[] for _ in range(meta["n_cores"])]
+        stats = meta["stats"]
+        trace.stats = TraceStats(
+            instructions=stats["instructions"],
+            reads=stats["reads"],
+            writes=stats["writes"],
+            total_cells_changed=stats["total_cells_changed"],
+            total_slc_bit_changes=stats["total_slc_bit_changes"],
+        )
+        change_cursor = 0
+        changes = data["changes"]
+        iters = data["iters"]
+        for core, kind, addr, gap, hit, slc, length in zip(
+            data["core"], data["kind"], data["addr"], data["gap"],
+            data["hit"], data["slc"], data["change_len"],
+        ):
+            if kind == 0:
+                acc = PCMAccess(
+                    core=int(core), kind=READ, line_addr=int(addr),
+                    gap_instr=int(gap), gap_hit_cycles=int(hit),
+                )
+            else:
+                n = int(length)
+                acc = PCMAccess(
+                    core=int(core), kind=WRITE, line_addr=int(addr),
+                    gap_instr=int(gap), gap_hit_cycles=int(hit),
+                    changed_idx=changes[change_cursor:change_cursor + n],
+                    iter_counts=iters[change_cursor:change_cursor + n],
+                    slc_bit_changes=int(slc),
+                )
+                change_cursor += n
+            trace.per_core[acc.core].append(acc)
+    trace.validate()
+    return trace

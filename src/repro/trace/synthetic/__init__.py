@@ -1,0 +1,43 @@
+"""Synthetic per-benchmark workload generators (Table 2 substitutes)."""
+
+from .base import Ref, SyntheticWorkload
+from .bio import MummerWorkload, TigrWorkload
+from .misc import QsortWorkload, StreamAdd, StreamCopy, StreamScale, StreamTriad
+from .patterns import (
+    HotColdWorkload,
+    PartitionSortWorkload,
+    RandomAccessWorkload,
+    StencilStreamWorkload,
+    StreamCopyWorkload,
+)
+from .spec import (
+    AstarWorkload,
+    BwavesWorkload,
+    LbmWorkload,
+    LeslieWorkload,
+    McfWorkload,
+    XalancWorkload,
+)
+
+__all__ = [
+    "AstarWorkload",
+    "BwavesWorkload",
+    "HotColdWorkload",
+    "LbmWorkload",
+    "LeslieWorkload",
+    "McfWorkload",
+    "MummerWorkload",
+    "PartitionSortWorkload",
+    "QsortWorkload",
+    "RandomAccessWorkload",
+    "Ref",
+    "StencilStreamWorkload",
+    "StreamAdd",
+    "StreamCopy",
+    "StreamCopyWorkload",
+    "StreamScale",
+    "StreamTriad",
+    "SyntheticWorkload",
+    "TigrWorkload",
+    "XalancWorkload",
+]

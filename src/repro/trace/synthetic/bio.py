@@ -1,0 +1,34 @@
+"""BioBench benchmark models (mummer, tigr)."""
+
+from __future__ import annotations
+
+from .patterns import RandomAccessWorkload
+
+
+class MummerWorkload(RandomAccessWorkload):
+    """mummer: genome suffix-tree matching — the most memory-intensive
+    workload in Table 2 (RPKI 10.8). Random traversal with match-count
+    updates carrying near-random payloads."""
+
+    name = "mummer"
+    target_rpki = 10.8
+    target_wpki = 4.16
+    footprint_bytes = 512 * 1024 * 1024
+    write_fraction = 0.385
+    locality = 0.0
+    value_bits = 40
+    line_kind = "random"
+
+
+class TigrWorkload(RandomAccessWorkload):
+    """tigr: sequence assembly — read-dominated random lookups (WPKI is
+    only 12% of RPKI)."""
+
+    name = "tigr"
+    target_rpki = 6.94
+    target_wpki = 0.81
+    footprint_bytes = 384 * 1024 * 1024
+    write_fraction = 0.117
+    locality = 0.1
+    value_bits = 32
+    line_kind = "random"

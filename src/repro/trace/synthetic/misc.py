@@ -1,0 +1,52 @@
+"""MiBench (qsort) and STREAM kernel models."""
+
+from __future__ import annotations
+
+from .patterns import PartitionSortWorkload, StreamCopyWorkload
+
+
+class QsortWorkload(PartitionSortWorkload):
+    """qsort: partition sweeps over an array comparable to the LLC size,
+    with pointer-sized swaps (W/R near 1)."""
+
+    name = "qsort"
+    target_rpki = 0.51
+    target_wpki = 0.47
+    footprint_bytes = 192 * 1024 * 1024
+    swap_fraction = 0.55
+
+
+class StreamCopy(StreamCopyWorkload):
+    """STREAM copy: c[i] = a[i]."""
+
+    name = "stream.copy"
+    target_rpki = 0.57
+    target_wpki = 0.42
+    reads_per_elem = 1
+
+
+class StreamScale(StreamCopyWorkload):
+    """STREAM scale: b[i] = q * c[i]."""
+
+    name = "stream.scale"
+    target_rpki = 0.57
+    target_wpki = 0.42
+    reads_per_elem = 1
+
+
+class StreamAdd(StreamCopyWorkload):
+    """STREAM add: c[i] = a[i] + b[i]."""
+
+    name = "stream.add"
+    target_rpki = 0.76
+    target_wpki = 0.38
+    reads_per_elem = 2
+
+
+class StreamTriad(StreamCopyWorkload):
+    """STREAM triad: a[i] = b[i] + q * c[i]."""
+
+    name = "stream.triad"
+    target_rpki = 0.76
+    target_wpki = 0.38
+    reads_per_elem = 2

@@ -1,0 +1,173 @@
+"""Reusable reference-stream patterns composed by the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import BatchedRandom, Ref, SyntheticWorkload
+
+WORD = 8
+
+
+class RandomAccessWorkload(SyntheticWorkload):
+    """Random word accesses over a large footprint, each a read that is
+    followed (with probability ``write_fraction``) by a write to the same
+    word — the pointer-chasing/update pattern of mcf, mummer, tigr.
+
+    ``locality`` is the probability of revisiting a recently touched
+    region instead of jumping randomly (astar's open-list reuse).
+    """
+
+    footprint_bytes = 256 * 1024 * 1024
+    write_fraction = 0.5
+    locality = 0.0
+    value_bits = 16
+    history = 64
+    line_kind = "int"
+
+    def refs(self, rng: np.random.Generator, base_addr: int) -> Iterator[Ref]:
+        rnd = BatchedRandom(rng)
+        n_words = self.footprint_bytes // WORD
+        recent = [0] * self.history
+        cursor = 0
+        while True:
+            if self.locality and cursor and rnd.random() < self.locality:
+                word = recent[rnd.integers(0, min(cursor, self.history))]
+                word = (word + rnd.integers(0, 32)) % n_words
+            else:
+                word = rnd.integers(0, n_words)
+            recent[cursor % self.history] = word
+            cursor += 1
+            addr = base_addr + word * WORD
+            yield Ref(addr, False, None, self.gap(rnd))
+            if rnd.random() < self.write_fraction:
+                value = self.int_delta_value(
+                    rnd, base=word * 0x9E3779B97F4A7C15, bits=self.value_bits
+                )
+                yield Ref(addr, True, value, self.gap(rnd))
+
+
+class StencilStreamWorkload(SyntheticWorkload):
+    """Sequential stencil sweep: read ``reads_per_elem`` source words,
+    write one destination word with smoothly evolving FP data — the
+    bwaves/lbm/leslie3d pattern."""
+
+    footprint_bytes = 128 * 1024 * 1024
+    reads_per_elem = 1
+    fetch_on_write_miss = True
+    line_kind = "fp"
+
+    def refs(self, rng: np.random.Generator, base_addr: int) -> Iterator[Ref]:
+        rnd = BatchedRandom(rng)
+        half = self.footprint_bytes // 2
+        n_words = half // WORD
+        src = base_addr
+        dst = base_addr + half
+        step = 0
+        while True:
+            for i in range(n_words):
+                for k in range(self.reads_per_elem):
+                    off = min(n_words - 1, i + k)
+                    yield Ref(src + off * WORD, False, None, self.gap(rnd))
+                value = self.fp_evolve_value(rnd, step, i)
+                yield Ref(dst + i * WORD, True, value, self.gap(rnd))
+            src, dst = dst, src
+            step += 1
+
+
+class StreamCopyWorkload(SyntheticWorkload):
+    """STREAM-style kernels: pure streaming with non-temporal stores.
+
+    STREAM sizes its arrays well past any cache; 64 MB per array keeps
+    the kernels memory-bound even at Figure 20's 128 MB LLC (where the
+    paper notes qso/cop retain most of FPB's gain).
+    """
+
+    footprint_bytes = 192 * 1024 * 1024
+    reads_per_elem = 1
+    fetch_on_write_miss = False
+    line_kind = "fp"
+    #: Non-temporal stores evict roughly twice per demand read (the
+    #: store-install evictions), so the steady dirty fraction is half
+    #: the W/R target.
+    prewarm_dirty_scale = 0.5
+
+    def refs(self, rng: np.random.Generator, base_addr: int) -> Iterator[Ref]:
+        rnd = BatchedRandom(rng)
+        third = self.footprint_bytes // 3
+        n_words = third // WORD
+        step = 0
+        while True:
+            for i in range(n_words):
+                for k in range(self.reads_per_elem):
+                    yield Ref(
+                        base_addr + k * third + i * WORD, False, None,
+                        self.gap(rnd),
+                    )
+                value = self.fp_evolve_value(rnd, step, i)
+                yield Ref(
+                    base_addr + 2 * third + i * WORD, True, value,
+                    self.gap(rnd),
+                )
+            step += 1
+
+
+class HotColdWorkload(SyntheticWorkload):
+    """A small hot region (cache resident) with rare excursions to a
+    large cold heap — xalancbmk's behaviour (near-zero PKI)."""
+
+    hot_bytes = 1024 * 1024
+    cold_bytes = 128 * 1024 * 1024
+    excursion_prob = 0.02
+    write_fraction = 0.5
+    line_kind = "int"
+
+    @property
+    def footprint_bytes(self) -> int:  # type: ignore[override]
+        return self.hot_bytes + self.cold_bytes
+
+    def refs(self, rng: np.random.Generator, base_addr: int) -> Iterator[Ref]:
+        rnd = BatchedRandom(rng)
+        hot_words = self.hot_bytes // WORD
+        cold_words = self.cold_bytes // WORD
+        while True:
+            if rnd.random() < self.excursion_prob:
+                word = rnd.integers(0, cold_words)
+                addr = base_addr + self.hot_bytes + word * WORD
+            else:
+                word = rnd.integers(0, hot_words)
+                addr = base_addr + word * WORD
+            is_write = rnd.random() < self.write_fraction
+            value = (
+                self.int_delta_value(rnd, base=word * 0x2545F4914F6CDD1D)
+                if is_write else None
+            )
+            yield Ref(addr, is_write, value, self.gap(rnd))
+
+
+class PartitionSortWorkload(SyntheticWorkload):
+    """qsort: partition passes over random sub-ranges of a large array.
+
+    Each burst reads a contiguous run (compares) and swaps a fraction of
+    the elements; runs jump around the array like recursive quicksort
+    partitions do, so the L3 sees a mix of reuse and fresh data.
+    """
+
+    footprint_bytes = 192 * 1024 * 1024
+    burst_bytes = 16 * 1024
+    swap_fraction = 0.5
+    line_kind = "random"
+
+    def refs(self, rng: np.random.Generator, base_addr: int) -> Iterator[Ref]:
+        rnd = BatchedRandom(rng)
+        n_words = self.footprint_bytes // WORD
+        burst_words = self.burst_bytes // WORD
+        while True:
+            start = rnd.integers(0, max(1, n_words - burst_words))
+            for i in range(start, start + burst_words):
+                addr = base_addr + i * WORD
+                yield Ref(addr, False, None, self.gap(rnd))
+                if rnd.random() < self.swap_fraction:
+                    yield Ref(addr, True, self.random_value(rnd), self.gap(rnd))

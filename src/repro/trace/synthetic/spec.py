@@ -1,0 +1,87 @@
+"""SPEC CPU2006 benchmark models (Table 2's *_m workloads).
+
+Footprint sizing follows Figure 20's story: every benchmark exceeds the
+32 MB baseline LLC (so the default configuration misses), astar /
+bwaves / lbm / leslie3d fit inside a 128 MB LLC (their off-chip traffic
+— and FPB's gain — largely disappears there), while mcf, the BioBench
+pair and the STREAM/qsort kernels stay larger than any swept LLC ("most
+part of performance gain is achieved on streaming benchmarks such as
+qso and cop", Section 6.4.2).
+"""
+
+from __future__ import annotations
+
+from .patterns import (
+    HotColdWorkload,
+    RandomAccessWorkload,
+    StencilStreamWorkload,
+)
+
+
+class AstarWorkload(RandomAccessWorkload):
+    """astar: A* path search — pointer chasing with open-list reuse and
+    integer g-score updates."""
+
+    name = "astar"
+    target_rpki = 2.45
+    target_wpki = 1.12
+    footprint_bytes = 96 * 1024 * 1024
+    write_fraction = 0.46
+    locality = 0.35
+    value_bits = 20
+
+
+class BwavesWorkload(StencilStreamWorkload):
+    """bwaves: blast-wave CFD — streaming FP stencil sweeps."""
+
+    name = "bwaves"
+    target_rpki = 3.59
+    target_wpki = 1.68
+    footprint_bytes = 112 * 1024 * 1024
+    reads_per_elem = 1
+
+
+class LbmWorkload(StencilStreamWorkload):
+    """lbm: lattice Boltzmann — two-grid streaming FP updates."""
+
+    name = "lbm"
+    target_rpki = 3.63
+    target_wpki = 1.82
+    footprint_bytes = 112 * 1024 * 1024
+    reads_per_elem = 1
+
+
+class LeslieWorkload(StencilStreamWorkload):
+    """leslie3d: turbulence CFD — wider stencil, same streaming shape."""
+
+    name = "leslie3d"
+    target_rpki = 2.59
+    target_wpki = 1.29
+    footprint_bytes = 96 * 1024 * 1024
+    reads_per_elem = 1
+
+
+class McfWorkload(RandomAccessWorkload):
+    """mcf: network simplex — random node reads with frequent integer
+    field updates over a huge arc array."""
+
+    name = "mcf"
+    target_rpki = 4.74
+    target_wpki = 2.29
+    footprint_bytes = 384 * 1024 * 1024
+    write_fraction = 0.50
+    locality = 0.05
+    value_bits = 24
+
+
+class XalancWorkload(HotColdWorkload):
+    """xalancbmk: XSLT processing — cache-resident with rare heap
+    excursions (near-zero memory intensity)."""
+
+    name = "xalancbmk"
+    target_rpki = 0.08
+    target_wpki = 0.07
+    hot_bytes = 512 * 1024
+    cold_bytes = 64 * 1024 * 1024
+    excursion_prob = 0.005
+    write_fraction = 0.6

@@ -1,0 +1,117 @@
+"""The Table 2 workload registry.
+
+Each workload assigns one benchmark instance to each of the 8 cores:
+homogeneous workloads run 8 copies of one benchmark, the mixes combine
+pairs (Table 2: mix_1 = 2xSTREAM.add + 2xlbm + 2xxalan + 2xmummer, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import TraceError
+from .synthetic import (
+    AstarWorkload,
+    BwavesWorkload,
+    LbmWorkload,
+    LeslieWorkload,
+    McfWorkload,
+    MummerWorkload,
+    QsortWorkload,
+    StreamAdd,
+    StreamCopy,
+    StreamScale,
+    StreamTriad,
+    SyntheticWorkload,
+    TigrWorkload,
+    XalancWorkload,
+)
+
+BenchmarkFactory = Callable[[], SyntheticWorkload]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table 2 row: a name plus 8 per-core benchmark factories."""
+
+    name: str
+    description: str
+    benchmarks: Tuple[BenchmarkFactory, ...]
+    table_rpki: float
+    table_wpki: float
+
+    def __post_init__(self) -> None:
+        if len(self.benchmarks) != 8:
+            raise TraceError(
+                f"workload {self.name}: need 8 per-core benchmarks, "
+                f"got {len(self.benchmarks)}"
+            )
+
+    def instantiate(self) -> List[SyntheticWorkload]:
+        """Construct this workload's 8 per-core benchmarks."""
+        return [factory() for factory in self.benchmarks]
+
+
+def _homogeneous(name: str, description: str, factory: BenchmarkFactory,
+                 rpki: float, wpki: float) -> WorkloadSpec:
+    return WorkloadSpec(name, description, (factory,) * 8, rpki, wpki)
+
+
+def _registry() -> Dict[str, WorkloadSpec]:
+    specs = [
+        _homogeneous("ast_m", "SPEC-CPU2006, 8x astar", AstarWorkload, 2.45, 1.12),
+        _homogeneous("bwa_m", "SPEC-CPU2006, 8x bwaves", BwavesWorkload, 3.59, 1.68),
+        _homogeneous("lbm_m", "SPEC-CPU2006, 8x lbm", LbmWorkload, 3.63, 1.82),
+        _homogeneous("les_m", "SPEC-CPU2006, 8x leslie3d", LeslieWorkload, 2.59, 1.29),
+        _homogeneous("mcf_m", "SPEC-CPU2006, 8x mcf", McfWorkload, 4.74, 2.29),
+        _homogeneous("xal_m", "SPEC-CPU2006, 8x xalancbmk", XalancWorkload, 0.08, 0.07),
+        _homogeneous("mum_m", "BioBench, 8x mummer", MummerWorkload, 10.8, 4.16),
+        _homogeneous("tig_m", "BioBench, 8x tigr", TigrWorkload, 6.94, 0.81),
+        _homogeneous("qso_m", "MiBench, 8x qsort", QsortWorkload, 0.51, 0.47),
+        _homogeneous("cop_m", "STREAM, 8x copy", StreamCopy, 0.57, 0.42),
+        WorkloadSpec(
+            "mix_1", "2x STREAM.add, 2x lbm, 2x xalan, 2x mummer",
+            (StreamAdd, StreamAdd, LbmWorkload, LbmWorkload,
+             XalancWorkload, XalancWorkload, MummerWorkload, MummerWorkload),
+            1.16, 0.58,
+        ),
+        WorkloadSpec(
+            "mix_2", "2x STREAM.scale, 2x mcf, 2x xalan, 2x bwaves",
+            (StreamScale, StreamScale, McfWorkload, McfWorkload,
+             XalancWorkload, XalancWorkload, BwavesWorkload, BwavesWorkload),
+            0.94, 0.61,
+        ),
+        WorkloadSpec(
+            "mix_3", "2x STREAM.triad, 2x tigr, 2x xalan, 2x leslie3d",
+            (StreamTriad, StreamTriad, TigrWorkload, TigrWorkload,
+             XalancWorkload, XalancWorkload, LeslieWorkload, LeslieWorkload),
+            0.96, 0.58,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_WORKLOADS = _registry()
+
+#: The evaluation order used in the paper's figures.
+ALL_WORKLOADS: Tuple[str, ...] = tuple(_WORKLOADS)
+
+#: A small representative subset for quick runs (write-heavy, mixed,
+#: read-heavy and low-intensity behaviour).
+QUICK_WORKLOADS: Tuple[str, ...] = ("lbm_m", "mcf_m", "tig_m", "mix_1")
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a Table 2 workload by name."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise TraceError(
+            f"unknown workload {name!r}; choose from {ALL_WORKLOADS}"
+        ) from None
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """All Table 2 workload names, figure order."""
+    return ALL_WORKLOADS

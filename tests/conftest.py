@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.system import (
+    CacheConfig,
+    CacheLevelConfig,
+    CPUConfig,
+    PCMConfig,
+    PowerConfig,
+    SystemConfig,
+)
+
+
+def make_tiny_config(seed: int = 1, **overrides) -> SystemConfig:
+    """A scaled-down system that keeps simulations fast in tests:
+    2 cores, 2 MB per-core L3 — the PCM side stays at Table 1 values."""
+    caches = CacheConfig(
+        l1=CacheLevelConfig(16 * 1024, 4, 64, 2),
+        l2=CacheLevelConfig(256 * 1024, 4, 64, 7),
+        l3=CacheLevelConfig(2 * 1024 * 1024, 8, 256, 200),
+    )
+    config = SystemConfig(
+        cpu=CPUConfig(cores=2),
+        caches=caches,
+        seed=seed,
+    )
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    return make_tiny_config()
+
+
+def make_figure5_config() -> SystemConfig:
+    """The idealized setting of the Figure 5/6 worked examples:
+    SET power is half of RESET power (C = 2), an 80-token budget, and
+    perfect pump efficiencies so tokens equal input power."""
+    pcm = PCMConfig(reset_power_uw=100.0, set_power_uw=50.0)
+    power = PowerConfig(dimm_tokens=80.0, lcp_efficiency=1.0)
+    return replace(make_tiny_config(), pcm=pcm, power=power)
+
+
+@pytest.fixture
+def figure5_config() -> SystemConfig:
+    return make_figure5_config()

@@ -1,0 +1,142 @@
+"""End-to-end simulations on a scaled-down system.
+
+These run every power-budgeting scheme through the full stack (trace ->
+controller -> DIMM -> policy) and check completion, accounting
+invariants and the paper's qualitative orderings.
+"""
+
+import pytest
+
+from repro.sim.runner import run_schemes, run_simulation
+from repro.trace.generator import generate_trace
+
+from ..conftest import make_tiny_config
+
+N_WRITES = 60
+MAX_REFS = 15_000
+
+ALL_SCHEMES = [
+    "ideal", "dimm-only", "dimm+chip", "pwl", "1.5xlocal", "2xlocal",
+    "sche24", "gcp-ne-0.7", "gcp-vim-0.7", "gcp-bim-0.7", "ipm",
+    "ipm+mr", "fpb",
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = make_tiny_config()
+    return config, run_schemes(
+        config, "mcf_m", ALL_SCHEMES,
+        n_pcm_writes=N_WRITES, max_refs_per_core=MAX_REFS,
+    )
+
+
+class TestCompletion:
+    def test_all_schemes_complete(self, results):
+        config, res = results
+        trace = generate_trace(
+            config, "mcf_m", n_pcm_writes=N_WRITES,
+            max_refs_per_core=MAX_REFS,
+        )
+        for name, result in res.items():
+            assert result.stats.reads_done == trace.stats.reads, name
+            assert result.stats.writes_done == trace.stats.writes, name
+
+    def test_positive_cpi(self, results):
+        _, res = results
+        for name, result in res.items():
+            assert result.cpi > 0, name
+            assert result.cycles > 0, name
+
+    def test_cells_written_conserved(self, results):
+        config, res = results
+        trace = generate_trace(
+            config, "mcf_m", n_pcm_writes=N_WRITES,
+            max_refs_per_core=MAX_REFS,
+        )
+        for name, result in res.items():
+            assert result.stats.cells_written == trace.stats.total_cells_changed, name
+
+
+class TestOrderings:
+    def test_ideal_among_the_fastest(self, results):
+        """Ideal has no power limit. It is not a strict upper bound in a
+        timing simulator (issuing writes greedily can delay reads that a
+        power-throttled scheme would have served first), but nothing
+        should beat it by a wide margin."""
+        _, res = results
+        ideal = res["ideal"].cpi
+        for name, result in res.items():
+            assert result.cpi >= ideal * 0.75, name
+
+    def test_chip_budget_hurts(self, results):
+        _, res = results
+        assert res["dimm+chip"].cpi >= res["dimm-only"].cpi * 0.98
+
+    def test_fpb_recovers_most_of_the_loss(self, results):
+        _, res = results
+        base = res["dimm+chip"].cpi
+        assert res["fpb"].cpi < base
+        # FPB lands much closer to Ideal than to the baseline.
+        gap_to_ideal = res["fpb"].cpi / res["ideal"].cpi
+        assert gap_to_ideal < 1.6
+
+    def test_bigger_pumps_help(self, results):
+        _, res = results
+        assert res["2xlocal"].cpi <= res["dimm+chip"].cpi
+        assert res["1.5xlocal"].cpi <= res["dimm+chip"].cpi
+
+    def test_fpb_beats_baseline(self, results):
+        _, res = results
+        assert res["fpb"].cpi < res["dimm+chip"].cpi
+
+    def test_speedup_over_self_is_one(self, results):
+        _, res = results
+        assert res["fpb"].speedup_over(res["fpb"]) == pytest.approx(1.0)
+
+
+class TestSchemeMechanics:
+    def test_gcp_used_only_by_gcp_schemes(self, results):
+        _, res = results
+        assert res["dimm+chip"].stats.gcp_peak_output == 0.0
+        assert res["gcp-ne-0.7"].stats.gcp_peak_output >= 0.0
+
+    def test_multireset_only_under_mr_schemes(self, results):
+        _, res = results
+        assert res["ipm"].stats.multi_reset_writes == 0
+        assert res["dimm+chip"].stats.multi_reset_writes == 0
+
+    def test_burst_fraction_in_range(self, results):
+        _, res = results
+        for name, result in res.items():
+            assert 0.0 <= result.stats.burst_fraction <= 1.0, name
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = make_tiny_config()
+        a = run_simulation(config, "lbm_m", "fpb",
+                           n_pcm_writes=40, max_refs_per_core=10_000)
+        b = run_simulation(config, "lbm_m", "fpb",
+                           n_pcm_writes=40, max_refs_per_core=10_000)
+        assert a.cycles == b.cycles
+        assert a.cpi == b.cpi
+        assert a.stats.summary() == b.stats.summary()
+
+    def test_different_seed_different_result(self):
+        a = run_simulation(make_tiny_config(seed=1), "lbm_m", "fpb",
+                           n_pcm_writes=40, max_refs_per_core=10_000)
+        b = run_simulation(make_tiny_config(seed=9), "lbm_m", "fpb",
+                           n_pcm_writes=40, max_refs_per_core=10_000)
+        assert a.cycles != b.cycles
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("workload", ["lbm_m", "tig_m", "xal_m", "mix_1"])
+    def test_runs_clean(self, workload):
+        config = make_tiny_config()
+        result = run_simulation(
+            config, workload, "fpb",
+            n_pcm_writes=40, max_refs_per_core=10_000,
+        )
+        assert result.cycles > 0

@@ -1,0 +1,67 @@
+"""Paper-shape gates at QUICK scale (the full Table 1 system).
+
+These run the real 8-core / 32MB-LLC configuration on the four
+representative workloads and assert the paper's headline orderings.
+They are the slowest tests in the suite (~1-2 minutes) and the
+strongest evidence that the reproduction holds together.
+"""
+
+import pytest
+
+from repro.analysis.metrics import gmean
+from repro.config.presets import baseline_config
+from repro.experiments.base import QUICK, sim
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config()
+
+
+def gmean_speedups(config, schemes, baseline="dimm+chip"):
+    out = {}
+    for scheme in schemes:
+        values = []
+        for workload in QUICK.workloads:
+            base = sim(config, workload, baseline, QUICK)
+            values.append(sim(config, workload, scheme, QUICK)
+                          .speedup_over(base))
+        out[scheme] = gmean(values)
+    return out
+
+
+class TestHeadlineShapes:
+    def test_figure4_ordering(self, config):
+        s = gmean_speedups(
+            config, ["ideal", "dimm-only", "dimm+chip", "2xlocal"],
+        )
+        # Ideal > DIMM-only > DIMM+chip; 2xlocal recovers toward DIMM-only.
+        assert s["ideal"] > s["dimm-only"] > s["dimm+chip"] * 1.1
+        assert s["2xlocal"] > s["dimm+chip"] * 1.2
+        assert s["2xlocal"] > s["dimm-only"] * 0.8
+
+    def test_figure12_mapping_ordering(self, config):
+        s = gmean_speedups(
+            config, ["gcp-ne-0.7", "gcp-vim-0.7", "gcp-bim-0.7"],
+        )
+        assert s["gcp-vim-0.7"] > s["gcp-ne-0.7"]
+        assert s["gcp-bim-0.7"] > s["gcp-ne-0.7"]
+
+    def test_figure16_fpb_recovers(self, config):
+        s = gmean_speedups(
+            config, ["gcp-bim-0.7", "ipm+mr", "ideal"],
+        )
+        # IPM+MR beats per-write GCP and lands near Ideal (paper: within
+        # 12.2%; we allow 25% at quick scale).
+        assert s["ipm+mr"] > s["gcp-bim-0.7"]
+        assert s["ipm+mr"] >= s["ideal"] * 0.75
+        # And the headline: a large gain over state-of-the-art budgeting.
+        assert s["ipm+mr"] > 1.3
+
+    def test_figure18_throughput_gain(self, config):
+        gains = []
+        for workload in QUICK.workloads:
+            base = sim(config, workload, "dimm+chip", QUICK)
+            fpb = sim(config, workload, "ipm+mr", QUICK)
+            gains.append(fpb.throughput_ratio(base))
+        assert gmean(gains) > 1.3

@@ -1,0 +1,112 @@
+"""Figure 5(b): the FPB-IPM worked example, token for token.
+
+Setup (Section 3): SET power is half of RESET power (C = 2), the RESET
+pulse is half the length of a SET pulse, the DIMM has 80 available
+power tokens (APT). WR-A changes 50 cells (1 RESET + 3 SET iterations,
+actives 50/48/26/12); WR-B arrives one RESET-time later and changes 40
+cells (1 RESET + 4 SETs, actives 40/36/20/12/4).
+
+The paper's APT trace: 80, 30, 15, 35, 36, 38, 49, 57, 70, 74 (and back
+to 80 when WR-B completes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies.base import PowerManager
+from repro.core.write_op import WriteOperation
+from repro.pcm.dimm import DIMM
+
+from ..conftest import make_figure5_config
+
+
+def make_write(write_id, dimm, iteration_counts):
+    idx = np.arange(len(iteration_counts)) * 7 % dimm.cells_per_line
+    return WriteOperation(
+        write_id, 0, 0, np.sort(np.unique(idx))[: len(iteration_counts)],
+        np.asarray(iteration_counts), dimm.mapping,
+    )
+
+
+@pytest.fixture
+def setup():
+    config = make_figure5_config()
+    dimm = DIMM(config)
+    manager = PowerManager(
+        config, dimm, enforce_dimm=True, enforce_chip=False, ipm=True,
+    )
+    wr_a = make_write(
+        1, dimm, [1] * 2 + [2] * 22 + [3] * 14 + [4] * 12
+    )  # actives 50/48/26/12
+    wr_b = make_write(
+        2, dimm, [1] * 4 + [2] * 16 + [3] * 8 + [4] * 8 + [5] * 4
+    )  # actives 40/36/20/12/4
+    return config, dimm, manager, wr_a, wr_b
+
+
+def test_write_profiles(setup):
+    _, _, _, wr_a, wr_b = setup
+    assert wr_a.active.tolist() == [50, 48, 26, 12]
+    assert wr_b.active.tolist() == [40, 36, 20, 12, 4]
+
+
+def test_figure5b_apt_trace(setup):
+    """Drive both writes through the manager on the figure's timeline
+    and check the APT counter at every step."""
+    _, _, manager, wr_a, wr_b = setup
+    pool = manager.dimm_pool
+    apt = []
+
+    # t0: WR-A issues its RESET.
+    assert manager.try_issue(wr_a, 0)
+    apt.append(pool.available)                        # 30
+    # t1: WR-A -> SET1 (reclaim to 25); WR-B issues its RESET.
+    assert manager.on_iteration_end(wr_a, 0, 1) == "advance"
+    assert manager.try_issue(wr_b, 1)
+    apt.append(pool.available)                        # 15
+    # t2: WR-B -> SET1 (reclaim to 20).
+    assert manager.on_iteration_end(wr_b, 0, 2) == "advance"
+    apt.append(pool.available)                        # 35
+    # t3: WR-A -> SET2 (24 = active(2)/C).
+    assert manager.on_iteration_end(wr_a, 1, 3) == "advance"
+    apt.append(pool.available)                        # 36
+    # t4: WR-B -> SET2 (18 = 36/2).
+    assert manager.on_iteration_end(wr_b, 1, 4) == "advance"
+    apt.append(pool.available)                        # 38
+    # t5: WR-A -> SET3 (13 = 26/2).
+    assert manager.on_iteration_end(wr_a, 2, 5) == "advance"
+    apt.append(pool.available)                        # 49
+    # t6: WR-B -> SET3 (10 = 20/2).
+    assert manager.on_iteration_end(wr_b, 2, 6) == "advance"
+    apt.append(pool.available)                        # 57
+    # t7: WR-A completes.
+    assert manager.on_iteration_end(wr_a, 3, 7) == "done"
+    apt.append(pool.available)                        # 70
+    # t8: WR-B -> SET4 (6 = 12/2).
+    assert manager.on_iteration_end(wr_b, 3, 8) == "advance"
+    apt.append(pool.available)                        # 74
+    # t10: WR-B completes.
+    assert manager.on_iteration_end(wr_b, 4, 10) == "done"
+    apt.append(pool.available)                        # 80
+
+    assert apt == [30, 15, 35, 36, 38, 49, 57, 70, 74, 80]
+    manager.assert_conserved()
+
+
+def test_per_write_heuristic_blocks_wr_b(setup):
+    """Figure 5(a): under per-write budgeting WR-B (40 tokens) cannot
+    issue while WR-A holds its full 50 tokens."""
+    config, dimm, _, wr_a, wr_b = setup
+    manager = PowerManager(
+        config, dimm, enforce_dimm=True, enforce_chip=False, ipm=False,
+    )
+    assert manager.try_issue(wr_a, 0)
+    assert manager.dimm_pool.available == 30
+    assert not manager.try_issue(wr_b, 1)
+    # WR-A's tokens come back only at completion ...
+    for i in range(3):
+        assert manager.on_iteration_end(wr_a, i, i + 1) == "advance"
+        assert manager.dimm_pool.available == 30
+    assert manager.on_iteration_end(wr_a, 3, 4) == "done"
+    # ... and only then can WR-B go.
+    assert manager.try_issue(wr_b, 4)

@@ -1,0 +1,94 @@
+"""Figure 6: Multi-RESET lowers the peak power demand.
+
+Setup as in Figure 5 (C = 2, 80 tokens), but WR-B changes 60 cells.
+Without Multi-RESET, WR-B's RESET needs 60 tokens and must wait for
+WR-A to release; with Multi-RESET the RESET splits into groups that fit
+the available budget, so WR-B issues immediately and the writes overlap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies.base import PowerManager
+from repro.core.write_op import WriteOperation
+from repro.pcm.dimm import DIMM
+
+from ..conftest import make_figure5_config
+
+
+def make_write(write_id, dimm, n_cells, iteration_counts):
+    # Spread changed cells evenly across the line (and chips).
+    idx = np.linspace(0, dimm.cells_per_line - 1, n_cells).astype(np.int64)
+    return WriteOperation(
+        write_id, 0, 0, np.unique(idx), np.asarray(iteration_counts),
+        dimm.mapping,
+    )
+
+
+@pytest.fixture
+def setup():
+    config = make_figure5_config()
+    dimm = DIMM(config)
+    manager = PowerManager(
+        config, dimm, enforce_dimm=True, enforce_chip=False, ipm=True,
+        mr_splits=2,
+    )
+    wr_a = make_write(1, dimm, 50, [1] * 2 + [2] * 22 + [3] * 14 + [4] * 12)
+    wr_b = make_write(2, dimm, 60, [2] * 36 + [3] * 16 + [4] * 8)
+    return manager, wr_a, wr_b
+
+
+def test_without_multireset_wr_b_waits(setup):
+    """Figure 6(a): 60 tokens > 30 available -> WR-B stalls."""
+    manager, wr_a, wr_b = setup
+    manager.mr_splits = 1  # disable Multi-RESET
+    assert manager.try_issue(wr_a, 0)
+    assert manager.dimm_pool.available == 30
+    assert not manager.try_issue(wr_b, 0)
+    assert wr_b.mr_splits == 1
+
+
+def test_with_multireset_wr_b_issues_immediately(setup):
+    """Figure 6(b): the RESET splits into groups of ~30 that fit the
+    30 remaining tokens, so WR-A and WR-B overlap."""
+    manager, wr_a, wr_b = setup
+    assert manager.try_issue(wr_a, 0)
+    assert manager.try_issue(wr_b, 0)
+    assert wr_b.mr_splits == 2
+    assert wr_b.group_totals.tolist() == [30, 30]
+    # Both writes hold tokens simultaneously.
+    assert manager.dimm_pool.available == pytest.approx(0.0)
+    manager.assert_conserved()
+
+
+def test_multireset_full_lifecycle_conserves_tokens(setup):
+    manager, wr_a, wr_b = setup
+    assert manager.try_issue(wr_a, 0)
+    assert manager.try_issue(wr_b, 0)
+    t = 1
+    for write in (wr_a, wr_b):
+        i = 0
+        while True:
+            outcome = manager.on_iteration_end(write, i, t)
+            t += 1
+            if outcome == "done":
+                break
+            assert outcome == "advance"
+            i += 1
+    assert manager.dimm_pool.available == pytest.approx(80.0)
+    manager.assert_conserved()
+
+
+def test_multireset_applies_only_when_needed(setup):
+    """A write whose RESET fits outright is not split."""
+    manager, wr_a, _ = setup
+    assert manager.try_issue(wr_a, 0)
+    assert wr_a.mr_splits == 1
+
+
+def test_set_iterations_follow_all_reset_groups(setup):
+    _, _, wr_b = setup
+    wr_b.apply_multi_reset(2)
+    # 2 RESET groups + SET phase of the slowest cell (4 total cell
+    # iterations -> 3 SETs).
+    assert wr_b.total_iterations == 2 + 3

@@ -1,0 +1,68 @@
+"""Property tests: cell packing/diffing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pcm.cells import bytes_to_levels, changed_cells, levels_to_bytes
+
+line_bytes = arrays(np.uint8, st.integers(8, 64).map(lambda n: n * 4))
+paired_lines = st.integers(8, 64).flatmap(
+    lambda n: st.tuples(
+        arrays(np.uint8, n * 4), arrays(np.uint8, n * 4)
+    )
+)
+
+
+class TestPackingProperties:
+    @given(data=line_bytes, bits=st.sampled_from([1, 2]))
+    @settings(max_examples=60)
+    def test_roundtrip(self, data, bits):
+        assert (levels_to_bytes(bytes_to_levels(data, bits), bits) == data).all()
+
+    @given(data=line_bytes)
+    @settings(max_examples=60)
+    def test_level_range(self, data):
+        levels = bytes_to_levels(data, 2)
+        assert levels.min(initial=0) >= 0
+        assert levels.max(initial=0) <= 3
+
+    @given(data=line_bytes)
+    @settings(max_examples=60)
+    def test_cell_count(self, data):
+        assert bytes_to_levels(data, 2).size == data.size * 4
+        assert bytes_to_levels(data, 1).size == data.size * 8
+
+
+class TestDiffProperties:
+    @given(pair=paired_lines)
+    @settings(max_examples=60)
+    def test_diff_symmetric(self, pair):
+        old, new = pair
+        fwd = changed_cells(old, new, 2)
+        bwd = changed_cells(new, old, 2)
+        assert (fwd == bwd).all()
+
+    @given(data=line_bytes)
+    @settings(max_examples=60)
+    def test_self_diff_empty(self, data):
+        assert changed_cells(data, data.copy(), 2).size == 0
+
+    @given(pair=paired_lines)
+    @settings(max_examples=60)
+    def test_mlc_changes_at_most_slc(self, pair):
+        """One MLC cell covers two SLC bits, so MLC cell changes never
+        exceed SLC bit flips (Figure 2's ordering)."""
+        old, new = pair
+        mlc = changed_cells(old, new, 2).size
+        slc = changed_cells(old, new, 1).size
+        assert mlc <= slc
+        assert slc <= 2 * mlc
+
+    @given(pair=paired_lines)
+    @settings(max_examples=60)
+    def test_indices_sorted_unique(self, pair):
+        old, new = pair
+        idx = changed_cells(old, new, 2)
+        assert (np.diff(idx) > 0).all()

@@ -1,0 +1,78 @@
+"""Property tests: drift model and line-content models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.cells import changed_cells
+from repro.pcm.drift import DriftModel
+from repro.rng import make_rng
+from repro.trace.synthetic.data import LINE_KINDS, make_line_block, make_line_pair
+
+MODEL = DriftModel()
+
+
+class TestDriftProperties:
+    @given(
+        level=st.integers(0, 3),
+        t1=st.floats(1e-9, 1e6),
+        t2=st.floats(1e-9, 1e6),
+    )
+    @settings(max_examples=80)
+    def test_resistance_monotone_in_time(self, level, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert MODEL.resistance_at(level, lo) <= MODEL.resistance_at(level, hi)
+
+    @given(level=st.integers(0, 3), t=st.floats(0.0, 1e3))
+    @settings(max_examples=80)
+    def test_resistance_at_least_nominal(self, level, t):
+        assert MODEL.resistance_at(level, t) >= MODEL.level_resistances[level]
+
+    @given(level=st.integers(0, 3))
+    @settings(max_examples=20)
+    def test_nominal_sensing_is_identity(self, level):
+        assert MODEL.sensed_level(MODEL.level_resistances[level]) == level
+
+    @given(level=st.integers(0, 2), t=st.floats(1e-9, 1e9))
+    @settings(max_examples=60)
+    def test_margin_in_unit_range_until_misread(self, level, t):
+        horizon = MODEL.time_to_misread(level)
+        if t < horizon:
+            assert 0.0 <= MODEL.margin_consumed(level, t) <= 1.0 + 1e-9
+
+
+class TestLineModelProperties:
+    @given(
+        kind=st.sampled_from(LINE_KINDS),
+        seed=st.integers(0, 500),
+        n=st.integers(1, 16),
+    )
+    @settings(max_examples=40)
+    def test_block_shape_and_dtype(self, kind, seed, n):
+        block = make_line_block(kind, make_rng(seed, "p"), n, 256)
+        assert block.shape == (n, 256)
+        assert block.dtype == np.uint8
+
+    @given(kind=st.sampled_from(LINE_KINDS), seed=st.integers(0, 500))
+    @settings(max_examples=40)
+    def test_pair_changes_bounded(self, kind, seed):
+        old, new = make_line_pair(kind, make_rng(seed, "p"), 8, 256)
+        for i in range(8):
+            n_changed = changed_cells(old[i], new[i], 2).size
+            assert 0 <= n_changed <= 1024
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_pair_deterministic_per_seed(self, seed):
+        a = make_line_pair("int", make_rng(seed, "p"), 4, 256)
+        b = make_line_pair("int", make_rng(seed, "p"), 4, 256)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    @given(kind=st.sampled_from(LINE_KINDS), seed=st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_new_version_differs_from_old(self, kind, seed):
+        old, new = make_line_pair(kind, make_rng(seed, "p"), 16, 256)
+        total = sum(
+            changed_cells(old[i], new[i], 2).size for i in range(16)
+        )
+        assert total > 0  # writes change something, in aggregate

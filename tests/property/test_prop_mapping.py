@@ -1,0 +1,53 @@
+"""Property tests: cell-to-chip mapping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.mapping import make_mapping
+
+mapping_names = st.sampled_from(["naive", "vim", "bim"])
+geometries = st.sampled_from([(256, 8), (512, 8), (1024, 8), (2048, 8),
+                              (1024, 4)])
+
+
+class TestMappingProperties:
+    @given(name=mapping_names, geom=geometries)
+    @settings(max_examples=40)
+    def test_every_cell_mapped_in_range(self, name, geom):
+        n_cells, n_chips = geom
+        m = make_mapping(name, n_cells, n_chips)
+        chips = m.chip_of(np.arange(n_cells))
+        assert chips.min() >= 0
+        assert chips.max() < n_chips
+
+    @given(name=mapping_names, geom=geometries)
+    @settings(max_examples=40)
+    def test_balanced_partition(self, name, geom):
+        n_cells, n_chips = geom
+        m = make_mapping(name, n_cells, n_chips)
+        counts = m.counts_by_chip(np.arange(n_cells))
+        assert (counts == n_cells // n_chips).all()
+
+    @given(
+        name=mapping_names,
+        offset=st.integers(0, 2047),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_rotation_preserves_totals(self, name, offset, data):
+        m = make_mapping(name, 1024, 8)
+        idx = np.array(sorted(data.draw(
+            st.sets(st.integers(0, 1023), min_size=1, max_size=100)
+        )))
+        counts = m.counts_by_chip(idx, offset=offset % 1024)
+        assert counts.sum() == idx.size
+
+    @given(name=mapping_names)
+    @settings(max_examples=10)
+    def test_full_rotation_is_identity(self, name):
+        m = make_mapping(name, 1024, 8)
+        idx = np.arange(0, 1024, 7)
+        assert (
+            m.chip_of(idx, offset=1024 % 1024) == m.chip_of(idx)
+        ).all()

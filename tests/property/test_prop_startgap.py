@@ -1,0 +1,56 @@
+"""Property tests: Start-Gap remapping invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.startgap import StartGap
+
+
+class TestStartGapProperties:
+    @given(
+        n_lines=st.integers(2, 64),
+        interval=st.integers(1, 8),
+        writes=st.integers(0, 500),
+    )
+    @settings(max_examples=60)
+    def test_always_bijective(self, n_lines, interval, writes):
+        sg = StartGap(n_lines, interval)
+        for _ in range(writes):
+            sg.record_write()
+        assert sg.mapping_is_bijective()
+
+    @given(
+        n_lines=st.integers(2, 64),
+        writes=st.integers(0, 500),
+    )
+    @settings(max_examples=60)
+    def test_inverse_holds(self, n_lines, writes):
+        sg = StartGap(n_lines, 1)
+        for _ in range(writes):
+            sg.record_write()
+        for logical in range(n_lines):
+            assert sg.logical_of(sg.physical_of(logical)) == logical
+
+    @given(n_lines=st.integers(2, 32))
+    @settings(max_examples=30)
+    def test_full_cycle_returns_to_identity_shifted(self, n_lines):
+        """After (n+1) gap moves, every line has advanced one slot."""
+        sg = StartGap(n_lines, 1)
+        before = [sg.physical_of(l) for l in range(n_lines)]
+        for _ in range(n_lines + 1):
+            sg.record_write()
+        after = [sg.physical_of(l) for l in range(n_lines)]
+        assert after != before
+        assert sg.mapping_is_bijective()
+
+    @given(
+        n_lines=st.integers(2, 32),
+        writes=st.integers(1, 400),
+    )
+    @settings(max_examples=40)
+    def test_gap_moves_counted(self, n_lines, writes):
+        interval = 5
+        sg = StartGap(n_lines, interval)
+        moved = sum(sg.record_write() for _ in range(writes))
+        assert moved == writes // interval
+        assert sg.gap_moves == moved

@@ -1,0 +1,98 @@
+"""Property tests: power-token conservation under arbitrary schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TokenError
+from repro.power.gcp import GlobalChargePump
+from repro.power.tokens import TokenPool
+
+BUDGET = 560.0
+
+
+@st.composite
+def alloc_schedules(draw):
+    """A sequence of (allocate, amount) ops; releases refer to live
+    allocations by index."""
+    return draw(st.lists(
+        st.tuples(st.booleans(), st.floats(1.0, 200.0)),
+        min_size=1, max_size=60,
+    ))
+
+
+class TestTokenPoolProperties:
+    @given(ops=alloc_schedules())
+    @settings(max_examples=80)
+    def test_never_negative_never_over_budget(self, ops):
+        pool = TokenPool(BUDGET)
+        live = []
+        for is_alloc, amount in ops:
+            if is_alloc:
+                if pool.can_allocate(amount):
+                    pool.allocate(amount)
+                    live.append(amount)
+                else:
+                    with pytest.raises(TokenError):
+                        pool.allocate(amount)
+            elif live:
+                pool.release(live.pop())
+            assert -1e-6 <= pool.available <= BUDGET + 1e-6
+            assert pool.allocated == pytest.approx(sum(live))
+        for amount in live:
+            pool.release(amount)
+        assert pool.available == pytest.approx(BUDGET)
+
+    @given(ops=alloc_schedules())
+    @settings(max_examples=40)
+    def test_min_available_is_a_lower_bound(self, ops):
+        pool = TokenPool(BUDGET)
+        live = []
+        observed_min = BUDGET
+        for is_alloc, amount in ops:
+            if is_alloc and pool.can_allocate(amount):
+                pool.allocate(amount)
+                live.append(amount)
+            elif not is_alloc and live:
+                pool.release(live.pop())
+            observed_min = min(observed_min, pool.available)
+        assert pool.min_available == pytest.approx(observed_min)
+
+
+class TestGCPProperties:
+    @given(
+        amounts=st.lists(st.floats(0.5, 30.0), min_size=1, max_size=30),
+        efficiency=st.floats(0.3, 0.95),
+    )
+    @settings(max_examples=60)
+    def test_output_never_exceeds_pump(self, amounts, efficiency):
+        gcp = GlobalChargePump(0.95, efficiency, max_output_tokens=66.0)
+        grants = []
+        for amount in amounts:
+            if gcp.can_supply(amount):
+                grants.append(gcp.acquire(amount))
+            assert gcp.output_in_use <= gcp.max_output_tokens + 1e-6
+        for grant in grants:
+            gcp.release(grant)
+        assert gcp.output_in_use == pytest.approx(0.0)
+
+    @given(
+        out=st.floats(0.1, 60.0),
+        efficiency=st.floats(0.3, 0.95),
+    )
+    @settings(max_examples=60)
+    def test_input_power_at_least_output(self, out, efficiency):
+        """The pump never creates power: input >= output (Eq. 6)."""
+        gcp = GlobalChargePump(0.95, efficiency, max_output_tokens=100.0)
+        assert gcp.input_power(out) >= out
+
+    @given(
+        out=st.floats(1.0, 50.0),
+        shrink_to=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60)
+    def test_shrink_monotone(self, out, shrink_to):
+        gcp = GlobalChargePump(0.95, 0.7, max_output_tokens=66.0)
+        grant = gcp.acquire(out)
+        gcp.shrink(grant, out * shrink_to)
+        assert gcp.output_in_use == pytest.approx(out * shrink_to)

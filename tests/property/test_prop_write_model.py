@@ -1,0 +1,52 @@
+"""Property tests: the P&V iteration sampler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import PCMConfig
+from repro.pcm.write_model import IterationSampler, active_cells_per_iteration
+from repro.rng import make_rng
+
+SAMPLER = IterationSampler(PCMConfig())
+
+
+class TestSamplerProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        levels=st.lists(st.integers(0, 3), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60)
+    def test_counts_within_bounds(self, seed, levels):
+        rng = make_rng(seed, "prop")
+        counts = SAMPLER.sample(np.array(levels, dtype=np.uint8), rng)
+        assert counts.min() >= 1
+        assert counts.max() <= SAMPLER.max_iterations
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_deterministic_levels_fixed(self, seed):
+        rng = make_rng(seed, "prop")
+        counts = SAMPLER.sample(np.array([0, 3, 0, 3], dtype=np.uint8), rng)
+        assert counts.tolist() == [1, 2, 1, 2]
+
+    @given(
+        counts=st.lists(st.integers(1, 16), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60)
+    def test_active_profile_invariants(self, counts):
+        active = active_cells_per_iteration(counts, 16)
+        assert active[0] == len(counts)
+        assert (np.diff(active) <= 0).all()
+        assert active[-1] >= 1
+        assert active.size == max(counts)
+
+    @given(
+        counts=st.lists(st.integers(1, 16), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60)
+    def test_active_sum_equals_total_iterations(self, counts):
+        """Sum over iterations of active cells = total cell-iterations
+        — the energy-accounting identity behind IPM's savings."""
+        active = active_cells_per_iteration(counts, 16)
+        assert active.sum() == sum(counts)

@@ -1,0 +1,84 @@
+"""Property tests: write-operation schedule invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.write_op import WriteOperation
+from repro.pcm.mapping import make_mapping
+
+MAPPING = make_mapping("bim", 1024, 8)
+C = 480.0 / 90.0
+
+
+@st.composite
+def write_ops(draw, mr=False):
+    n = draw(st.integers(1, 300))
+    idx = np.array(sorted(draw(st.sets(
+        st.integers(0, 1023), min_size=n, max_size=n,
+    ))))
+    counts = np.array(draw(st.lists(
+        st.integers(1, 16), min_size=idx.size, max_size=idx.size,
+    )))
+    splits = draw(st.integers(2, 4)) if mr else 1
+    return WriteOperation(1, 0, 0, idx, counts, MAPPING, mr_splits=splits)
+
+
+class TestScheduleProperties:
+    @given(w=write_ops())
+    @settings(max_examples=60)
+    def test_chip_allocs_sum_to_dimm_alloc(self, w):
+        for i in range(w.total_iterations):
+            for ipm in (False, True):
+                chip_sum = w.chip_alloc(i, C, ipm).sum()
+                assert chip_sum == pytest.approx(w.dimm_alloc(i, C, ipm))
+
+    @given(w=write_ops())
+    @settings(max_examples=60)
+    def test_cells_finishing_partition(self, w):
+        finished = sum(
+            w.cells_finishing_at(i) for i in range(w.total_iterations)
+        )
+        assert finished == w.n_changed
+
+    @given(w=write_ops())
+    @settings(max_examples=60)
+    def test_ipm_set_allocations_never_grow(self, w):
+        allocs = [
+            w.dimm_alloc(i, C, True)
+            for i in range(w.mr_splits, w.total_iterations)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(allocs, allocs[1:]))
+
+    @given(w=write_ops())
+    @settings(max_examples=60)
+    def test_ipm_alloc_covers_demand(self, w):
+        """Every SET iteration's allocation covers its true active cells
+        (the conservatism that makes the one-iteration reporting lag
+        safe, Section 3.1)."""
+        for i in range(w.mr_splits, w.total_iterations):
+            j = i - w.mr_splits + 1
+            true_need = w.active[j] / C if j < w.active.size else 0.0
+            assert w.dimm_alloc(i, C, True) >= true_need - 1e-9
+
+    @given(w=write_ops(mr=True))
+    @settings(max_examples=60)
+    def test_multireset_groups_partition(self, w):
+        assert w.group_totals.sum() == w.n_changed
+        assert w.group_chip_counts.sum(axis=1).sum() == w.n_changed
+        assert (w.group_chip_counts.sum(axis=0) == w.group_totals).all()
+
+    @given(w=write_ops(mr=True))
+    @settings(max_examples=60)
+    def test_multireset_adds_reset_iterations(self, w):
+        base_iters = int(w.iteration_counts.max())
+        assert w.total_iterations == base_iters + w.mr_splits - 1
+
+    @given(w=write_ops())
+    @settings(max_examples=60)
+    def test_per_write_alloc_constant(self, w):
+        allocs = {
+            w.dimm_alloc(i, C, False) for i in range(w.total_iterations)
+        }
+        assert allocs == {float(w.n_changed)}

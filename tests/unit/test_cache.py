@@ -1,0 +1,144 @@
+"""Set-associative cache and the L1/L2/L3 hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CoreHierarchy, PCM_READ, PCM_WRITE
+from repro.cache.set_assoc import SetAssocCache
+from repro.config.system import CacheConfig, CacheLevelConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return SetAssocCache(
+        CacheLevelConfig(assoc * sets * line, assoc, line, 1), "t"
+    )
+
+
+class TestSetAssocCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0, False).hit
+        assert cache.access(0, False).hit
+        assert cache.access(63, False).hit  # same line
+
+    def test_line_granularity(self):
+        cache = small_cache()
+        cache.access(0, False)
+        assert not cache.access(64, False).hit
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.access(0 * 64, False)
+        cache.access(1 * 64, False)
+        cache.access(0 * 64, False)       # 0 becomes MRU
+        result = cache.access(2 * 64, False)
+        assert result.victim_addr == 64   # LRU victim
+
+    def test_dirty_eviction_reported(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0, True)
+        result = cache.access(64, False)
+        assert result.victim_addr == 0
+        assert result.victim_dirty
+
+    def test_clean_eviction(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0, False)
+        result = cache.access(64, False)
+        assert not result.victim_dirty
+
+    def test_touch_dirty(self):
+        cache = small_cache()
+        cache.access(0, False)
+        assert cache.touch_dirty(0)
+        assert not cache.touch_dirty(4096 * 64)
+
+    def test_install_no_demand_stats(self):
+        cache = small_cache()
+        cache.install(0, dirty=True)
+        assert cache.misses == 0 and cache.hits == 0
+        assert cache.contains(0)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_prefill_fills_every_set(self):
+        import numpy as np
+        cache = small_cache(assoc=2, sets=4)
+        tags = np.arange(8).reshape(4, 2)
+        dirty = np.zeros((4, 2), dtype=bool)
+        cache.prefill(tags, dirty)
+        for s in range(4):
+            line_addr = (tags[s, 0] * 4 + s) * 64
+            assert cache.contains(line_addr)
+
+
+def tiny_hierarchy(fetch_on_write_miss=True):
+    caches = CacheConfig(
+        l1=CacheLevelConfig(2 * 64 * 2, 2, 64, 1),    # 2 sets x 2 ways
+        l2=CacheLevelConfig(4 * 64 * 4, 4, 64, 5),
+        l3=CacheLevelConfig(8 * 256 * 4, 4, 256, 50),
+    )
+    return CoreHierarchy(caches, 0, fetch_on_write_miss=fetch_on_write_miss)
+
+
+class TestCoreHierarchy:
+    def test_cold_read_reaches_pcm(self):
+        h = tiny_hierarchy()
+        events = h.access(0, False)
+        assert events == [(PCM_READ, 0)]
+
+    def test_warm_read_filtered(self):
+        h = tiny_hierarchy()
+        h.access(0, False)
+        assert h.access(0, False) == []
+
+    def test_write_marks_l3_dirty(self):
+        h = tiny_hierarchy()
+        h.access(0, True)
+        # Evict line 0 from L3 by filling its set.
+        victims = []
+        addr = 8 * 256  # same L3 set (8 sets)
+        for k in range(4):
+            victims += h.access(addr * (k + 1), False)
+        assert (PCM_WRITE, 0) in victims
+
+    def test_write_hit_in_l1_still_dirties_l3(self):
+        h = tiny_hierarchy()
+        h.access(0, False)   # load line
+        h.access(0, True)    # L1 write hit
+        victims = []
+        for k in range(4):
+            victims += h.access(8 * 256 * (k + 1), False)
+        assert (PCM_WRITE, 0) in victims
+
+    def test_nontemporal_store_skips_fetch(self):
+        h = tiny_hierarchy(fetch_on_write_miss=False)
+        events = h.access(0, True)
+        assert events == []  # no PCM read for a streaming store
+
+    def test_fetch_on_write_miss_reads(self):
+        h = tiny_hierarchy(fetch_on_write_miss=True)
+        events = h.access(0, True)
+        assert events == [(PCM_READ, 0)]
+
+    def test_pending_cycles_accumulate_and_reset(self):
+        h = tiny_hierarchy()
+        h.access(0, False)
+        assert h.take_pending_cycles() > 0
+        assert h.take_pending_cycles() == 0
+
+    def test_writeback_precedes_demand_read(self):
+        h = tiny_hierarchy()
+        h.access(0, True)
+        events = []
+        k = 1
+        while len(events) < 2:
+            evs = h.access(8 * 256 * k, False)
+            if any(kind == PCM_WRITE for kind, _ in evs):
+                events = evs
+            k += 1
+        kinds = [kind for kind, _ in events]
+        assert kinds.index(PCM_WRITE) < kinds.index(PCM_READ)

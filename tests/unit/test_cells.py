@@ -1,0 +1,98 @@
+"""MLC/SLC cell packing and diffing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.pcm.cells import (
+    bytes_to_levels,
+    changed_cell_targets,
+    changed_cells,
+    levels_to_bytes,
+)
+
+
+class TestBytesToLevels:
+    def test_mlc_single_byte(self):
+        levels = bytes_to_levels(np.array([0b11100100], dtype=np.uint8), 2)
+        assert levels.tolist() == [0, 1, 2, 3]
+
+    def test_slc_single_byte(self):
+        levels = bytes_to_levels(np.array([0b10000001], dtype=np.uint8), 1)
+        assert levels.tolist() == [1, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_mlc_length(self):
+        data = np.zeros(256, dtype=np.uint8)
+        assert bytes_to_levels(data, 2).size == 1024
+
+    def test_slc_length(self):
+        data = np.zeros(256, dtype=np.uint8)
+        assert bytes_to_levels(data, 1).size == 2048
+
+    def test_zeros_map_to_level_zero(self):
+        levels = bytes_to_levels(np.zeros(16, dtype=np.uint8), 2)
+        assert (levels == 0).all()
+
+    def test_unsupported_bits(self):
+        with pytest.raises(MappingError):
+            bytes_to_levels(np.zeros(4, dtype=np.uint8), 4)
+
+
+class TestRoundtrip:
+    def test_mlc_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=64, dtype=np.uint8)
+        assert (levels_to_bytes(bytes_to_levels(data, 2), 2) == data).all()
+
+    def test_slc_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=64, dtype=np.uint8)
+        assert (levels_to_bytes(bytes_to_levels(data, 1), 1) == data).all()
+
+    def test_bad_level_count(self):
+        with pytest.raises(MappingError):
+            levels_to_bytes(np.zeros(3, dtype=np.uint8), 2)
+
+
+class TestChangedCells:
+    def test_identical_lines(self):
+        data = np.arange(64, dtype=np.uint8)
+        assert changed_cells(data, data.copy(), 2).size == 0
+
+    def test_single_cell_change(self):
+        old = np.zeros(64, dtype=np.uint8)
+        new = old.copy()
+        new[0] = 0b00000010  # cell 0: level 0 -> 2
+        idx = changed_cells(old, new, 2)
+        assert idx.tolist() == [0]
+
+    def test_byte_change_touches_up_to_four_cells(self):
+        old = np.zeros(64, dtype=np.uint8)
+        new = old.copy()
+        new[3] = 0xFF
+        idx = changed_cells(old, new, 2)
+        assert idx.tolist() == [12, 13, 14, 15]
+
+    def test_mlc_fewer_changes_than_slc(self):
+        """Figure 2's claim: a 2-bit change inside one cell is one MLC
+        cell change but up to two SLC bit flips."""
+        rng = np.random.default_rng(2)
+        old = rng.integers(0, 256, size=256, dtype=np.uint8)
+        new = rng.integers(0, 256, size=256, dtype=np.uint8)
+        mlc = changed_cells(old, new, 2).size
+        slc = changed_cells(old, new, 1).size
+        assert mlc < slc
+
+    def test_size_mismatch(self):
+        with pytest.raises(MappingError):
+            changed_cells(
+                np.zeros(64, dtype=np.uint8), np.zeros(32, dtype=np.uint8), 2
+            )
+
+    def test_targets_align_with_indices(self):
+        old = np.zeros(8, dtype=np.uint8)
+        new = np.zeros(8, dtype=np.uint8)
+        new[0] = 0b0111  # cell0 -> 3, cell1 -> 1
+        idx, targets = changed_cell_targets(old, new, 2)
+        assert idx.tolist() == [0, 1]
+        assert targets.tolist() == [3, 1]

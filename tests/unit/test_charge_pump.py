@@ -1,0 +1,63 @@
+"""Charge-pump area model (Eq. 1) and Table 3 sizing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.charge_pump import (
+    ChargePumpDesign,
+    area_overhead_fraction,
+    pump_input_tokens,
+)
+
+
+class TestEquation1:
+    def test_area_proportional_to_current(self):
+        """Eq. 1: A_tot scales linearly with I_L for a fixed design."""
+        pump = ChargePumpDesign()
+        assert pump.area(2e-3) == pytest.approx(2 * pump.area(1e-3))
+
+    def test_zero_current_zero_area(self):
+        assert ChargePumpDesign().area(0.0) == 0.0
+
+    def test_more_stages_more_area(self):
+        low = ChargePumpDesign(n_stages=4)
+        # More stages with the same headroom target cost quadratic area.
+        high = ChargePumpDesign(n_stages=8)
+        assert high.area(1e-3) > low.area(1e-3)
+
+    def test_insufficient_stages_rejected(self):
+        with pytest.raises(ConfigError):
+            ChargePumpDesign(n_stages=1, vdd=1.0, vout=3.0)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ConfigError):
+            ChargePumpDesign().area(-1.0)
+
+
+class TestTable3Sizing:
+    def test_gcp_ne_095(self):
+        """Table 3: GCP-NE-0.95 -> 66 / 0.95 ~= 70 tokens."""
+        assert pump_input_tokens(66, 0.95) == pytest.approx(69.47, abs=0.01)
+
+    def test_gcp_ne_070(self):
+        """Table 3: GCP-NE-0.70 -> 64 / 0.70 ~= 92 tokens."""
+        assert pump_input_tokens(64, 0.70) == pytest.approx(91.43, abs=0.01)
+
+    def test_gcp_vim_070(self):
+        """Table 3: GCP-VIM-0.70 -> 16 / 0.70 ~= 23 tokens (4.1%)."""
+        pump = pump_input_tokens(16, 0.70)
+        assert pump == pytest.approx(22.86, abs=0.01)
+        assert area_overhead_fraction(pump, 560) == pytest.approx(0.0408, abs=0.001)
+
+    def test_2xlocal_is_100_percent(self):
+        assert area_overhead_fraction(560, 560) == 1.0
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            pump_input_tokens(10, 0.0)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            pump_input_tokens(-1, 0.5)
+        with pytest.raises(ConfigError):
+            area_overhead_fraction(-1, 560)

@@ -1,0 +1,94 @@
+"""Shape-check dispatch and logic."""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.checks import check_result, has_check
+
+
+def make_result(exp_id, rows, columns=None):
+    columns = columns or (["workload"] + [
+        k for k in rows[0] if k != "workload"
+    ])
+    return ExperimentResult(exp_id, "t", columns, rows)
+
+
+class TestDispatch:
+    def test_known_checks(self):
+        assert has_check("fig4")
+        assert has_check("fig16")
+        assert not has_check("tab1")
+
+    def test_unknown_exp_returns_empty(self):
+        result = make_result("tab1", [{"workload": "gmean", "x": 1.0}])
+        assert check_result(result) == []
+
+    def test_malformed_result_reported(self):
+        result = make_result("fig4", [{"workload": "w1"}])  # no gmean row
+        issues = check_result(result)
+        assert issues and "check failed" in issues[0]
+
+
+class TestFig4Check:
+    GOOD = {
+        "workload": "gmean", "ideal": 1.0, "dimm-only": 0.68,
+        "dimm+chip": 0.38, "pwl": 0.39, "1.5xlocal": 0.56,
+        "2xlocal": 0.66, "sche24": 0.45, "sche48": 0.5, "sche96": 0.55,
+    }
+
+    def test_paper_shape_passes(self):
+        assert check_result(make_result("fig4", [self.GOOD])) == []
+
+    def test_inverted_ordering_caught(self):
+        bad = dict(self.GOOD, **{"dimm+chip": 0.9})
+        issues = check_result(make_result("fig4", [bad]))
+        assert issues
+
+
+class TestFig11Check:
+    def test_monotone_passes(self):
+        row = {"workload": "gmean", "dimm-only": 1.8, "gcp-ne-0.95": 1.3,
+               "gcp-ne-0.7": 1.2, "gcp-ne-0.5": 1.1}
+        assert check_result(make_result("fig11", [row])) == []
+
+    def test_non_monotone_caught(self):
+        row = {"workload": "gmean", "dimm-only": 1.8, "gcp-ne-0.95": 1.0,
+               "gcp-ne-0.7": 1.3, "gcp-ne-0.5": 1.1}
+        assert check_result(make_result("fig11", [row]))
+
+
+class TestFig16Check:
+    def test_near_ideal_passes(self):
+        row = {"workload": "gmean", "gcp-bim-0.7": 1.7, "ipm": 2.4,
+               "ipm+mr": 2.5, "ideal": 2.6}
+        assert check_result(make_result("fig16", [row])) == []
+
+    def test_regression_caught(self):
+        row = {"workload": "gmean", "gcp-bim-0.7": 1.7, "ipm": 1.5,
+               "ipm+mr": 1.4, "ideal": 2.6}
+        assert check_result(make_result("fig16", [row]))
+
+
+class TestSweepChecks:
+    def test_fig19_monotone(self):
+        row = {"workload": "gmean", "64B": 1.3, "128B": 1.5, "256B": 1.7}
+        assert check_result(make_result("fig19", [row])) == []
+        bad = {"workload": "gmean", "64B": 1.7, "128B": 1.5, "256B": 1.3}
+        assert check_result(make_result("fig19", [bad]))
+
+    def test_fig20_drop_at_128m(self):
+        row = {"workload": "gmean", "8M": 1.4, "16M": 1.6, "32M": 1.75,
+               "128M": 1.2}
+        assert check_result(make_result("fig20", [row])) == []
+
+    def test_fig22_tight_budget(self):
+        row = {"workload": "gmean", "466": 1.9, "532": 1.8, "598": 1.7}
+        assert check_result(make_result("fig22", [row])) == []
+
+
+class TestFig21Check:
+    def test_consistent_band_passes(self):
+        row = {"workload": "gmean", "24": 1.8, "48": 1.85, "96": 1.88}
+        assert check_result(make_result("fig21", [row])) == []
+
+    def test_losing_at_24_caught(self):
+        row = {"workload": "gmean", "24": 0.9, "48": 1.85, "96": 1.88}
+        assert check_result(make_result("fig21", [row]))

@@ -1,0 +1,140 @@
+"""LineStore, PCMBank occupancy, and DIMM assembly."""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config
+from repro.errors import SchedulingError, TraceError
+from repro.pcm.bank import PCMBank
+from repro.pcm.contents import LineStore
+from repro.pcm.dimm import DIMM
+
+
+class TestLineStore:
+    def test_unwritten_lines_read_zero(self):
+        store = LineStore(256)
+        assert (store.read(0) == 0).all()
+        assert len(store) == 0
+
+    def test_write_read_roundtrip(self):
+        store = LineStore(64)
+        data = np.arange(64, dtype=np.uint8)
+        store.write(128, data)
+        assert (store.read(128) == data).all()
+
+    def test_read_returns_copy(self):
+        store = LineStore(64)
+        store.write(0, np.ones(64, dtype=np.uint8))
+        view = store.read(0)
+        view[0] = 99
+        assert store.read(0)[0] == 1
+
+    def test_unaligned_rejected(self):
+        store = LineStore(64)
+        with pytest.raises(TraceError):
+            store.read(1)
+        with pytest.raises(TraceError):
+            store.write(63, np.zeros(64, dtype=np.uint8))
+
+    def test_wrong_size_rejected(self):
+        store = LineStore(64)
+        with pytest.raises(TraceError):
+            store.write(0, np.zeros(32, dtype=np.uint8))
+
+    def test_write_bytes_within_line(self):
+        store = LineStore(64)
+        store.write_bytes(8, b"\x01\x02\x03")
+        line = store.read(0)
+        assert line[8:11].tolist() == [1, 2, 3]
+        assert line[11] == 0
+
+    def test_write_bytes_spanning_lines(self):
+        store = LineStore(16)
+        store.write_bytes(14, b"\xaa\xbb\xcc\xdd")
+        assert store.read(0)[14:16].tolist() == [0xAA, 0xBB]
+        assert store.read(16)[0:2].tolist() == [0xCC, 0xDD]
+
+    def test_contains_and_addresses(self):
+        store = LineStore(64)
+        store.write(64, np.zeros(64, dtype=np.uint8))
+        assert 64 in store
+        assert 0 not in store
+        assert list(store.addresses()) == [64]
+
+
+class TestPCMBank:
+    def test_initially_free(self):
+        assert PCMBank(0).is_free(0)
+
+    def test_read_occupies(self):
+        bank = PCMBank(0)
+        done = bank.start_read(10, 1000)
+        assert done == 1010
+        assert not bank.is_free(500)
+        assert bank.is_free(1010)
+        assert bank.reads_served == 1
+
+    def test_read_while_busy_rejected(self):
+        bank = PCMBank(0)
+        bank.start_read(0, 1000)
+        with pytest.raises(SchedulingError):
+            bank.start_read(500, 1000)
+
+    def test_write_lifecycle(self):
+        bank = PCMBank(0)
+        marker = object()
+        bank.start_write(0, marker)
+        assert not bank.is_free(0)
+        bank.finish_write(5000, marker)
+        assert bank.is_free(5000)
+        assert bank.writes_served == 1
+
+    def test_finish_wrong_write_rejected(self):
+        bank = PCMBank(0)
+        bank.start_write(0, object())
+        with pytest.raises(SchedulingError):
+            bank.finish_write(100, object())
+
+    def test_detach_does_not_count(self):
+        bank = PCMBank(0)
+        marker = object()
+        bank.start_write(0, marker)
+        bank.detach_write(marker)
+        assert bank.is_free(0)
+        assert bank.writes_served == 0
+
+
+class TestDIMM:
+    def test_geometry(self):
+        dimm = DIMM(baseline_config())
+        assert len(dimm.chips) == 8
+        assert len(dimm.banks) == 8
+        assert dimm.cells_per_line == 1024
+
+    def test_bank_interleaving(self):
+        dimm = DIMM(baseline_config())
+        assert dimm.bank_of(0) == 0
+        assert dimm.bank_of(256) == 1
+        assert dimm.bank_of(256 * 8) == 0
+
+    def test_chip_budgets_follow_eq4(self):
+        dimm = DIMM(baseline_config())
+        assert dimm.chips[0].budget == pytest.approx(66.5)
+
+    def test_timing_from_table1(self):
+        dimm = DIMM(baseline_config())
+        assert dimm.timing.read_cycles == 1000
+        assert dimm.timing.reset_cycles == 500
+        assert dimm.timing.set_cycles == 1000
+
+    def test_chip_counts_delegates_to_mapping(self):
+        dimm = DIMM(baseline_config())
+        counts = dimm.chip_counts(np.arange(128))
+        assert counts[0] == 128  # naive: first 128 cells on chip 0
+
+    def test_write_latency_helper(self):
+        dimm = DIMM(baseline_config())
+        # 1 RESET + 7 SETs at Table 1 latencies.
+        assert dimm.timing.write_cycles(8, 1) == 500 + 7 * 1000
+        # Multi-RESET(3): 3 RESETs + 5 SETs.
+        assert dimm.timing.write_cycles(8, 3) == 3 * 500 + 5 * 1000

@@ -1,0 +1,145 @@
+"""Core replay and the simulation runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.runner import run_simulation
+from repro.trace.records import PCMAccess, READ, WRITE
+
+from ..conftest import make_tiny_config
+
+
+class TestCoreReplay:
+    def make_mem_stub(self):
+        """A memory stub with controllable admission."""
+        class MemStub:
+            def __init__(self):
+                self.reads = []
+                self.writes = []
+                self.accept_reads = True
+                self.accept_writes = True
+                self.waiting = []
+
+            def submit_read(self, core, rec, now, on_done):
+                if not self.accept_reads:
+                    return False
+                self.reads.append((now, rec))
+                on_done(now + 1000)
+                return True
+
+            def submit_write(self, core, rec, now):
+                if not self.accept_writes:
+                    return False
+                self.writes.append((now, rec))
+                return True
+
+            def wait_for_read_slot(self, resubmit):
+                self.waiting.append(resubmit)
+
+            def wait_for_write_slot(self, resubmit):
+                self.waiting.append(resubmit)
+
+        return MemStub()
+
+    def make_core(self, stream, mem):
+        from repro.sim.cpu import Core
+        from repro.sim.events import SimEngine
+        engine = SimEngine()
+        core = Core(0, stream, engine, mem)
+        return core, engine
+
+    def test_gap_paces_issue(self):
+        mem = self.make_mem_stub()
+        stream = [
+            PCMAccess(0, READ, 0, gap_instr=100, gap_hit_cycles=20),
+        ]
+        core, engine = self.make_core(stream, mem)
+        core.start()
+        engine.run()
+        assert mem.reads[0][0] == 120  # gap_instr + hit cycles
+        assert core.finished
+
+    def test_read_stalls_until_done(self):
+        mem = self.make_mem_stub()
+        stream = [
+            PCMAccess(0, READ, 0, gap_instr=10, gap_hit_cycles=0),
+            PCMAccess(0, READ, 256, gap_instr=10, gap_hit_cycles=0),
+        ]
+        core, engine = self.make_core(stream, mem)
+        core.start()
+        engine.run()
+        # Second read issues only after the first completes (+1000).
+        assert mem.reads[1][0] == 10 + 1000 + 10
+
+    def test_write_is_posted(self):
+        mem = self.make_mem_stub()
+        idx = np.array([0])
+        stream = [
+            PCMAccess(0, WRITE, 0, gap_instr=5, gap_hit_cycles=0,
+                      changed_idx=idx, iter_counts=np.array([1])),
+            PCMAccess(0, READ, 256, gap_instr=5, gap_hit_cycles=0),
+        ]
+        core, engine = self.make_core(stream, mem)
+        core.start()
+        engine.run()
+        # Write does not stall: the read issues gap cycles later.
+        assert mem.reads[0][0] == 10
+
+    def test_instruction_count(self):
+        mem = self.make_mem_stub()
+        stream = [
+            PCMAccess(0, READ, 0, gap_instr=7, gap_hit_cycles=1),
+            PCMAccess(0, READ, 256, gap_instr=9, gap_hit_cycles=1),
+        ]
+        core, _ = self.make_core(stream, mem)
+        assert core.instructions == 16
+
+    def test_empty_stream_finishes_immediately(self):
+        mem = self.make_mem_stub()
+        core, engine = self.make_core([], mem)
+        core.start()
+        engine.run()
+        assert core.finished
+        assert core.finish_time == 0
+
+
+class TestRunner:
+    def test_result_fields(self):
+        config = make_tiny_config()
+        result = run_simulation(
+            config, "tig_m", "dimm+chip",
+            n_pcm_writes=30, max_refs_per_core=8_000,
+        )
+        assert result.scheme == "dimm+chip"
+        assert result.workload == "tig_m"
+        assert result.cycles == result.stats.total_cycles
+        assert result.config.cell_mapping == "naive"
+
+    def test_scheme_config_application(self):
+        config = make_tiny_config()
+        result = run_simulation(
+            config, "tig_m", "fpb",
+            n_pcm_writes=30, max_refs_per_core=8_000,
+        )
+        assert result.config.cell_mapping == "bim"
+        assert result.config.power.gcp_efficiency == 0.70
+
+    def test_speedup_raises_on_bad_cpi(self):
+        config = make_tiny_config()
+        result = run_simulation(
+            config, "tig_m", "ideal",
+            n_pcm_writes=30, max_refs_per_core=8_000,
+        )
+        broken = type(result)(
+            scheme="x", workload="y", cycles=0, cpi=0.0, stats=result.stats,
+        )
+        with pytest.raises(SimulationError):
+            broken.speedup_over(result)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            run_simulation(
+                make_tiny_config(), "tig_m", "hyperdrive",
+                n_pcm_writes=10, max_refs_per_core=2_000,
+            )

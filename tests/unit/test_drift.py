@@ -1,0 +1,87 @@
+"""Resistance-drift model and the Multi-RESET safety argument."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.drift import DriftModel
+
+
+@pytest.fixture
+def model():
+    return DriftModel()
+
+
+class TestPowerLaw:
+    def test_no_drift_at_t0(self, model):
+        for level in range(4):
+            assert model.resistance_at(level, model.t0_seconds) == \
+                model.level_resistances[level]
+
+    def test_resistance_increases(self, model):
+        for level in range(4):
+            early = model.resistance_at(level, 1e-3)
+            late = model.resistance_at(level, 1.0)
+            assert late >= early
+
+    def test_intermediate_levels_drift_most(self, model):
+        """Relative drift over a fixed window is largest for the
+        partially-amorphous intermediate levels."""
+        window = 1.0
+        rel = [
+            model.resistance_at(level, window) / model.level_resistances[level]
+            for level in range(4)
+        ]
+        assert rel[2] > rel[0]
+        assert rel[2] > rel[3]
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.resistance_at(0, -1.0)
+
+    def test_bad_level(self, model):
+        with pytest.raises(ConfigError):
+            model.resistance_at(7, 1.0)
+
+
+class TestSensing:
+    def test_nominal_levels_read_back(self, model):
+        for level in range(4):
+            r = model.level_resistances[level]
+            assert model.sensed_level(r) == level
+
+    def test_boundaries_monotone(self, model):
+        assert list(model.boundaries) == sorted(model.boundaries)
+
+    def test_drifted_cell_eventually_misreads(self, model):
+        level = 2
+        horizon = model.time_to_misread(level)
+        assert horizon < float("inf")
+        drifted = model.resistance_at(level, horizon * 2)
+        assert model.sensed_level(drifted) > level
+
+    def test_top_level_never_misreads(self, model):
+        assert model.time_to_misread(3) == float("inf")
+
+    def test_margin_consumed_monotone(self, model):
+        a = model.margin_consumed(1, 1e-3)
+        b = model.margin_consumed(1, 1e3)
+        assert 0.0 <= a <= b
+
+
+class TestMultiResetClaim:
+    def test_short_pause_is_safe(self, model):
+        """Section 3.2: a Multi-RESET pause of a few RESET pulses
+        (hundreds of ns) consumes a negligible drift margin."""
+        two_reset_pulses = 2 * 125e-9
+        assert model.multi_reset_pause_is_safe(two_reset_pulses)
+
+    def test_very_long_pause_is_not(self, model):
+        assert not model.multi_reset_pause_is_safe(
+            3.2e7, margin_budget=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DriftModel(level_resistances=(1e3, 5e2, 1e5, 1e6))
+        with pytest.raises(ConfigError):
+            DriftModel(t0_seconds=0.0)

@@ -1,0 +1,104 @@
+"""Hamming SEC-DED codec and the line-level truncation budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.ecc import (
+    CHECK_BITS,
+    DATA_BITS,
+    LineECC,
+    TOTAL_BITS,
+    decode_word,
+    encode_word,
+    inject_and_recover,
+)
+from repro.rng import make_rng
+
+
+class TestCodec:
+    def test_clean_roundtrip(self):
+        for value in (0, 1, 0xDEADBEEFCAFEBABE, (1 << 64) - 1):
+            result = decode_word(encode_word(value))
+            assert result.data == value
+            assert not result.corrected
+            assert not result.detected_uncorrectable
+
+    def test_corrects_any_single_bit_flip(self):
+        value = 0xA5A5_5A5A_0F0F_F0F0
+        codeword = encode_word(value)
+        for bit in range(TOTAL_BITS):
+            result = decode_word(codeword ^ (1 << bit))
+            assert result.data == value, f"bit {bit}"
+            assert result.corrected
+
+    def test_detects_double_bit_flips(self):
+        rng = make_rng(5, "ecc")
+        value = 0x0123_4567_89AB_CDEF
+        codeword = encode_word(value)
+        for _ in range(100):
+            b1, b2 = rng.choice(TOTAL_BITS, size=2, replace=False)
+            result = decode_word(codeword ^ (1 << int(b1)) ^ (1 << int(b2)))
+            assert result.detected_uncorrectable
+            assert not result.corrected
+
+    def test_random_values_roundtrip(self):
+        rng = make_rng(6, "ecc")
+        for _ in range(50):
+            value = int(rng.integers(0, 1 << 63)) << 1 | int(rng.integers(2))
+            assert decode_word(encode_word(value)).data == value
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            encode_word(1 << 64)
+        with pytest.raises(ConfigError):
+            decode_word(1 << 72)
+
+    def test_geometry(self):
+        assert DATA_BITS == 64
+        assert CHECK_BITS == 8
+        assert TOTAL_BITS == 72
+
+
+class TestInjection:
+    def test_recovers_scattered_single_flips(self):
+        rng = make_rng(7, "ecc")
+        words = rng.integers(0, 1 << 63, size=8, dtype=np.uint64)
+        flips = [(i, int(rng.integers(0, TOTAL_BITS))) for i in range(8)]
+        recovered, corrected, uncorrectable = inject_and_recover(words, flips)
+        assert (recovered == words).all()
+        assert corrected == 8
+        assert uncorrectable == 0
+
+    def test_two_flips_in_one_word_detected(self):
+        words = np.array([42], dtype=np.uint64)
+        _, corrected, uncorrectable = inject_and_recover(
+            words, [(0, 3), (0, 40)]
+        )
+        assert uncorrectable == 1
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ConfigError):
+            inject_and_recover(np.array([1], dtype=np.uint64), [(0, 99)])
+
+
+class TestLineECC:
+    def test_truncation_budget(self):
+        ecc = LineECC(correctable_cells=8)
+        assert ecc.can_truncate(8)
+        assert not ecc.can_truncate(9)
+
+    def test_matches_scheduler_default(self):
+        from repro.config.system import SchedulerConfig
+        assert LineECC().correctable_cells == \
+            SchedulerConfig().truncation_max_cells
+
+    def test_storage_overhead(self):
+        # 256B line = 32 words x 8 check bits = 256 bits.
+        assert LineECC().storage_overhead_bits(256) == 256
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LineECC(correctable_cells=-1)
+        with pytest.raises(ConfigError):
+            LineECC(correctable_cells=8, detectable_cells=4)

@@ -1,0 +1,103 @@
+"""Simulation kernel and statistics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import SimEngine
+from repro.sim.stats import SimStats
+
+
+class TestSimEngine:
+    def test_time_ordering(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(20, lambda t: fired.append(("b", t)))
+        engine.schedule(10, lambda t: fired.append(("a", t)))
+        engine.run()
+        assert fired == [("a", 10), ("b", 20)]
+
+    def test_same_time_fifo(self):
+        engine = SimEngine()
+        fired = []
+        for name in "abc":
+            engine.schedule(5, lambda t, n=name: fired.append(n))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_during_run(self):
+        engine = SimEngine()
+        fired = []
+
+        def first(t):
+            engine.schedule_after(3, lambda t2: fired.append(t2))
+
+        engine.schedule(1, first)
+        engine.run()
+        assert fired == [4]
+
+    def test_run_until(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(5, lambda t: fired.append(t))
+        engine.schedule(50, lambda t: fired.append(t))
+        engine.run(until=10)
+        assert fired == [5]
+        assert engine.pending == 1
+
+    def test_past_scheduling_rejected(self):
+        engine = SimEngine()
+        engine.schedule(10, lambda t: engine.schedule(5, lambda t2: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimEngine().schedule_after(-1, lambda t: None)
+
+    def test_event_budget(self):
+        engine = SimEngine(max_events=10)
+
+        def loop(t):
+            engine.schedule_after(1, loop)
+
+        engine.schedule(0, loop)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestSimStats:
+    def test_cpi_mean_over_cores(self):
+        stats = SimStats()
+        stats.core_instructions = [100, 100]
+        stats.core_finish_cycles = [200, 400]
+        assert stats.cpi == pytest.approx(3.0)
+
+    def test_cpi_empty(self):
+        """A run with no memory traffic defines CPI as the in-order
+        core's peak of 1.0 (comparisons degrade to 1.0x speedups)."""
+        assert SimStats().cpi == 1.0
+
+    def test_burst_fraction(self):
+        stats = SimStats(burst_cycles=250, total_cycles=1000)
+        assert stats.burst_fraction == 0.25
+
+    def test_write_throughput(self):
+        stats = SimStats(writes_done=50, write_active_cycles=100_000)
+        assert stats.write_throughput == pytest.approx(0.5)
+
+    def test_gcp_average_counts_all_writes(self):
+        """Figure 14 averages over *all* line writes, including those
+        that never used the GCP."""
+        stats = SimStats(
+            writes_done=10, gcp_used_writes=2, gcp_tokens_per_write_sum=40.0,
+        )
+        assert stats.mean_gcp_tokens_per_write == pytest.approx(4.0)
+
+    def test_latency_means(self):
+        stats = SimStats(reads_done=4, read_latency_sum=4000)
+        assert stats.mean_read_latency == 1000.0
+
+    def test_summary_keys(self):
+        summary = SimStats().summary()
+        for key in ("cycles", "cpi", "burst_fraction", "write_throughput"):
+            assert key in summary

@@ -1,0 +1,150 @@
+"""Experiment framework plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    ExperimentResult,
+    RunScale,
+    SCALES,
+    clear_sim_cache,
+    gmean_of_column,
+    sim,
+    speedup_rows,
+)
+
+from ..conftest import make_tiny_config
+
+MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"quick", "default", "full"}
+
+    def test_ordering(self):
+        assert QUICK.n_pcm_writes < DEFAULT.n_pcm_writes < FULL.n_pcm_writes
+
+    def test_quick_is_subset(self):
+        assert set(QUICK.workloads) <= set(DEFAULT.workloads)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "figx", "title", ["workload", "a"],
+            [{"workload": "w1", "a": 1.5}, {"workload": "gmean", "a": 2.0}],
+            paper_claim="claim", notes="note",
+        )
+
+    def test_to_table_contains_everything(self):
+        text = self.make().to_table()
+        assert "figx" in text and "claim" in text and "note" in text
+        assert "1.500" in text
+
+    def test_column(self):
+        assert self.make().column("a") == [1.5, 2.0]
+
+    def test_row_by(self):
+        assert self.make().row_by("workload", "gmean")["a"] == 2.0
+
+    def test_row_by_missing(self):
+        with pytest.raises(ExperimentError):
+            self.make().row_by("workload", "nope")
+
+    def test_gmean_of_column_skips_summary(self):
+        rows = [
+            {"workload": "w1", "a": 2.0},
+            {"workload": "w2", "a": 8.0},
+            {"workload": "gmean", "a": 99.0},
+        ]
+        assert gmean_of_column(rows, "a") == pytest.approx(4.0)
+
+
+class TestSimCache:
+    def test_memoized(self):
+        clear_sim_cache()
+        config = make_tiny_config()
+        a = sim(config, "tig_m", "ideal", MICRO)
+        b = sim(config, "tig_m", "ideal", MICRO)
+        assert a is b
+
+    def test_distinct_schemes_not_shared(self):
+        clear_sim_cache()
+        config = make_tiny_config()
+        a = sim(config, "tig_m", "ideal", MICRO)
+        b = sim(config, "tig_m", "dimm+chip", MICRO)
+        assert a is not b
+
+    def test_config_knobs_in_key(self):
+        clear_sim_cache()
+        config = make_tiny_config()
+        a = sim(config, "tig_m", "fpb", MICRO)
+        b = sim(config.with_dimm_tokens(466), "tig_m", "fpb", MICRO)
+        assert a is not b
+
+
+class TestSpeedupRows:
+    def test_shape_and_gmean(self):
+        clear_sim_cache()
+        config = make_tiny_config()
+        rows = speedup_rows(
+            config, MICRO, ["ideal", "dimm+chip"], baseline="dimm+chip",
+        )
+        assert rows[-1]["workload"] == "gmean"
+        assert rows[0]["dimm+chip"] == pytest.approx(1.0)
+        assert len(rows) == len(MICRO.workloads) + 1
+
+    def test_throughput_metric(self):
+        clear_sim_cache()
+        config = make_tiny_config()
+        rows = speedup_rows(
+            config, MICRO, ["ideal"], baseline="dimm+chip",
+            metric="throughput",
+        )
+        assert rows[0]["ideal"] > 0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ExperimentError):
+            speedup_rows(
+                make_tiny_config(), MICRO, ["ideal"], baseline="ideal",
+                metric="vibes",
+            )
+
+
+class TestCLIParser:
+    def test_run_args(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", "fig4", "--scale", "quick", "--seed", "7", "--bars"]
+        )
+        assert args.experiment == "fig4"
+        assert args.scale == "quick"
+        assert args.seed == 7
+        assert args.bars
+
+    def test_list_command(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+
+class TestCSVExport:
+    def test_to_csv(self):
+        result = ExperimentResult(
+            "figx", "t", ["workload", "a"],
+            [{"workload": "w1", "a": 1.5}],
+        )
+        csv_text = result.to_csv()
+        assert csv_text.splitlines()[0] == "workload,a"
+        assert "w1,1.5" in csv_text
+
+    def test_to_csv_ignores_extras(self):
+        result = ExperimentResult(
+            "figx", "t", ["workload"],
+            [{"workload": "w1", "hidden": 9}],
+        )
+        assert "hidden" not in result.to_csv()

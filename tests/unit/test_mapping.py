@@ -1,0 +1,131 @@
+"""Cell-to-chip mappings (Eq. 2, Eq. 3, Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.pcm.mapping import (
+    BIMMapping,
+    CELLS_PER_WORD,
+    NaiveMapping,
+    VIMMapping,
+    available_mappings,
+    make_mapping,
+)
+
+N_CELLS = 1024
+N_CHIPS = 8
+
+
+class TestFactory:
+    def test_available(self):
+        assert set(available_mappings()) == {"naive", "vim", "bim"}
+
+    def test_ne_alias(self):
+        assert isinstance(make_mapping("ne", N_CELLS, N_CHIPS), NaiveMapping)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_mapping("BIM", N_CELLS, N_CHIPS), BIMMapping)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MappingError):
+            make_mapping("zigzag", N_CELLS, N_CHIPS)
+
+    def test_uneven_cells_rejected(self):
+        with pytest.raises(MappingError):
+            make_mapping("vim", 1023, N_CHIPS)
+
+
+class TestNaive:
+    def test_consecutive_cells_same_chip(self):
+        m = NaiveMapping(N_CELLS, N_CHIPS)
+        chips = m.chip_of(np.arange(128))
+        assert (chips == 0).all()
+
+    def test_chip_boundaries(self):
+        m = NaiveMapping(N_CELLS, N_CHIPS)
+        assert m.chip_of(np.array([127]))[0] == 0
+        assert m.chip_of(np.array([128]))[0] == 1
+        assert m.chip_of(np.array([1023]))[0] == 7
+
+
+class TestVIM:
+    def test_equation2(self):
+        """chip_index = cell_index mod 8 (Eq. 2)."""
+        m = VIMMapping(N_CELLS, N_CHIPS)
+        cells = np.arange(N_CELLS)
+        assert (m.chip_of(cells) == cells % 8).all()
+
+    def test_low_order_cells_hit_same_chips(self):
+        """VIM's weakness (Section 4.3): the low-order cells of every
+        16-cell word land on the same chips."""
+        m = VIMMapping(N_CELLS, N_CHIPS)
+        low_cells = np.arange(0, N_CELLS, CELLS_PER_WORD)  # cell 0 of each word
+        chips = m.chip_of(low_cells)
+        assert set(chips.tolist()) == {0}
+
+
+class TestBIM:
+    def test_equation3(self):
+        """chip_index = (cell - cell // 16) mod 8 (Eq. 3)."""
+        m = BIMMapping(N_CELLS, N_CHIPS)
+        cells = np.arange(N_CELLS)
+        expected = (cells - cells // CELLS_PER_WORD) % 8
+        assert (m.chip_of(cells) == expected).all()
+
+    def test_low_order_cells_spread(self):
+        """BIM staggers the low-order cells of successive words across
+        chips — the fix for integer data."""
+        m = BIMMapping(N_CELLS, N_CHIPS)
+        low_cells = np.arange(0, N_CELLS, CELLS_PER_WORD)
+        chips = m.chip_of(low_cells)
+        assert len(set(chips.tolist())) == 8
+
+
+class TestBalanceAndCounts:
+    @pytest.mark.parametrize("name", ["naive", "vim", "bim"])
+    def test_perfectly_balanced(self, name):
+        m = make_mapping(name, N_CELLS, N_CHIPS)
+        counts = m.counts_by_chip(np.arange(N_CELLS))
+        assert (counts == N_CELLS // N_CHIPS).all()
+
+    @pytest.mark.parametrize("name", ["naive", "vim", "bim"])
+    def test_counts_sum(self, name):
+        m = make_mapping(name, N_CELLS, N_CHIPS)
+        idx = np.array([0, 5, 17, 300, 999])
+        assert m.counts_by_chip(idx).sum() == idx.size
+
+    def test_out_of_range_rejected(self):
+        m = make_mapping("vim", N_CELLS, N_CHIPS)
+        with pytest.raises(MappingError):
+            m.chip_of(np.array([N_CELLS]))
+
+    def test_wear_leveling_offset_rotates(self):
+        m = make_mapping("naive", N_CELLS, N_CHIPS)
+        plain = m.chip_of(np.array([0]))[0]
+        rotated = m.chip_of(np.array([0]), offset=128)[0]
+        assert plain == 0 and rotated == 1
+
+    def test_offset_preserves_counts_total(self):
+        m = make_mapping("bim", N_CELLS, N_CHIPS)
+        idx = np.arange(0, 512, 3)
+        assert m.counts_by_chip(idx, offset=77).sum() == idx.size
+
+    def test_bim_spreads_low_order_cells_better_than_vim(self):
+        """The Figure 9 story, integer data: the low-order cells of all
+        words pile onto the same chips under VIM; BIM staggers them."""
+        low_cells = np.arange(0, N_CELLS, CELLS_PER_WORD)
+        vim = make_mapping("vim", N_CELLS, N_CHIPS).counts_by_chip(low_cells)
+        bim = make_mapping("bim", N_CELLS, N_CHIPS).counts_by_chip(low_cells)
+        assert bim.max() < vim.max()
+
+    def test_naive_concentrates_clustered_words(self):
+        """The Figure 9 story, spatial clustering: a run of consecutive
+        words (a struct update) lands on one chip under the naive
+        mapping but spreads under VIM and BIM."""
+        cluster = np.arange(0, 8 * CELLS_PER_WORD)  # 8 consecutive words
+        naive = make_mapping("naive", N_CELLS, N_CHIPS).counts_by_chip(cluster)
+        vim = make_mapping("vim", N_CELLS, N_CHIPS).counts_by_chip(cluster)
+        bim = make_mapping("bim", N_CELLS, N_CHIPS).counts_by_chip(cluster)
+        assert naive.max() > vim.max()
+        assert naive.max() > bim.max()

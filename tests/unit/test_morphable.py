@@ -1,0 +1,112 @@
+"""Morphable Memory System page-mode management."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.morphable import MorphableMemory, PageMode
+
+
+def make(**kwargs):
+    kwargs.setdefault("capacity_pages", 100)
+    kwargs.setdefault("slc_budget_fraction", 0.1)  # up to 10 SLC pages
+    kwargs.setdefault("promote_threshold", 4)
+    kwargs.setdefault("epoch_accesses", 10_000)
+    return MorphableMemory(**kwargs)
+
+
+class TestPromotion:
+    def test_pages_start_mlc(self):
+        mms = make()
+        assert mms.access(0) is PageMode.MLC
+
+    def test_hot_page_promoted(self):
+        mms = make()
+        for _ in range(5):
+            mms.access(7)
+        assert mms.mode_of(7) is PageMode.SLC
+        assert mms.stats.promotions == 1
+
+    def test_promotion_costs_copy_writes(self):
+        mms = make(lines_per_page=16)
+        for _ in range(5):
+            mms.access(7)
+        assert mms.stats.morph_copy_writes == 16
+
+    def test_cold_pages_stay_mlc(self):
+        mms = make()
+        for page in range(50):
+            mms.access(page)
+        assert mms.slc_pages == 0
+
+    def test_budget_respected(self):
+        mms = make()
+        for page in range(30):
+            for _ in range(6):
+                mms.access(page)
+        assert mms.slc_pages <= mms.max_slc_pages
+
+
+class TestDemotion:
+    def test_hotter_page_evicts_cold_slc(self):
+        mms = make(slc_budget_fraction=0.01)  # one SLC slot
+        for _ in range(5):
+            mms.access(1)
+        assert mms.mode_of(1) is PageMode.SLC
+        # Page 2 becomes much hotter than page 1's recency.
+        for _ in range(30):
+            mms.access(2)
+        assert mms.mode_of(2) is PageMode.SLC
+        assert mms.mode_of(1) is PageMode.MLC
+        assert mms.stats.demotions == 1
+
+    def test_swap_costs_two_page_copies(self):
+        mms = make(slc_budget_fraction=0.01, lines_per_page=16)
+        for _ in range(5):
+            mms.access(1)
+        for _ in range(30):
+            mms.access(2)
+        assert mms.stats.morph_copy_writes == 16 + 32
+
+
+class TestEpochDecay:
+    def test_recency_decays(self):
+        mms = make(epoch_accesses=8, promote_threshold=100)
+        for _ in range(8):
+            mms.access(3)
+        assert mms._pages[3].recent < 8
+
+    def test_total_accesses_preserved(self):
+        mms = make(epoch_accesses=8, promote_threshold=100)
+        for _ in range(20):
+            mms.access(3)
+        assert mms._pages[3].accesses == 20
+
+
+class TestReporting:
+    def test_slc_hit_fraction(self):
+        mms = make()
+        for _ in range(10):
+            mms.access(1)  # promoted after 4 -> later hits are SLC
+        assert 0.0 < mms.stats.slc_hit_fraction < 1.0
+
+    def test_hottest_pages(self):
+        mms = make()
+        for _ in range(9):
+            mms.access(5)
+        mms.access(6)
+        top = mms.hottest_pages(1)
+        assert top[0][1] == 5
+
+    def test_capacity_in_use(self):
+        mms = make()
+        for _ in range(5):
+            mms.access(0)
+        assert mms.capacity_in_use() == 2  # one SLC page = 2 MLC slots
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MorphableMemory(0)
+        with pytest.raises(ConfigError):
+            MorphableMemory(10, slc_budget_fraction=2.0)
+        with pytest.raises(ConfigError):
+            MorphableMemory(10, promote_threshold=0)

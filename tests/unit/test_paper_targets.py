@@ -1,0 +1,54 @@
+"""The structured paper-claim registry."""
+
+from repro.experiments.paper_targets import (
+    FIG4_VS_IDEAL,
+    FIG11_GCP_NE,
+    FIG13_MAX_TOKENS,
+    FIG19_LINE_SIZE,
+    FIG20_LLC_MB,
+    HEADLINE,
+    TAB3_OVERHEAD_PERCENT,
+    expected_ordering,
+    within,
+)
+
+
+class TestTargets:
+    def test_fig4_values(self):
+        assert FIG4_VS_IDEAL["dimm+chip"] < FIG4_VS_IDEAL["dimm-only"] < 1.0
+
+    def test_fig11_monotone_in_efficiency(self):
+        assert FIG11_GCP_NE[0.95] > FIG11_GCP_NE[0.70] > FIG11_GCP_NE[0.50]
+
+    def test_fig13_ordering(self):
+        assert expected_ordering(FIG13_MAX_TOKENS) == ("vim", "bim", "ne")
+
+    def test_tab3_gcp_cheaper_than_2xlocal(self):
+        for key, value in TAB3_OVERHEAD_PERCENT.items():
+            if key != "2xlocal":
+                assert value < TAB3_OVERHEAD_PERCENT["2xlocal"]
+
+    def test_fig19_grows_with_line_size(self):
+        assert FIG19_LINE_SIZE[64] < FIG19_LINE_SIZE[128] < FIG19_LINE_SIZE[256]
+
+    def test_fig20_drops_at_128m(self):
+        assert FIG20_LLC_MB[128] < FIG20_LLC_MB[32]
+
+    def test_headline(self):
+        assert HEADLINE["throughput_gain"] == 3.4
+
+
+class TestWithin:
+    def test_exact_match(self):
+        assert within(1.0, 1.0) is None
+
+    def test_inside_tolerance(self):
+        assert within(1.2, 1.0, rel_tol=0.5) is None
+
+    def test_outside_tolerance(self):
+        message = within(2.0, 1.0, rel_tol=0.5)
+        assert message is not None
+        assert "2.000" in message
+
+    def test_zero_paper_value(self):
+        assert within(5.0, 0.0) is None

@@ -1,0 +1,110 @@
+"""Scheme name parsing and configuration implications."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.policies.registry import (
+    DEFAULT_MR_SPLITS,
+    available_schemes,
+    get_scheme,
+)
+from repro.errors import ConfigError
+from repro.pcm.dimm import DIMM
+
+
+class TestStaticSchemes:
+    def test_available(self):
+        names = available_schemes()
+        for expected in ("ideal", "dimm-only", "dimm+chip", "pwl",
+                         "2xlocal", "sche48", "fpb"):
+            assert expected in names
+
+    def test_ideal_flags(self):
+        s = get_scheme("ideal")
+        assert not s.enforce_dimm and not s.enforce_chip
+
+    def test_dimm_only_flags(self):
+        s = get_scheme("dimm-only")
+        assert s.enforce_dimm and not s.enforce_chip
+
+    def test_dimm_chip_flags(self):
+        s = get_scheme("dimm+chip")
+        assert s.enforce_dimm and s.enforce_chip and not s.ipm and not s.gcp
+
+    def test_pwl(self):
+        assert get_scheme("pwl").pwl
+
+    def test_xlocal_scales_chips(self):
+        cfg = get_scheme("2xlocal").apply_to_config(baseline_config())
+        assert cfg.power.chip_budget_scale == 2.0
+        assert DIMM(cfg).chips[0].budget == pytest.approx(133.0)
+
+    def test_sche_sets_queue_and_window(self):
+        s = get_scheme("sche48")
+        assert s.ooo_window == 48
+        cfg = s.apply_to_config(baseline_config())
+        assert cfg.scheduler.write_queue_entries == 48
+
+    def test_fpb_composition(self):
+        s = get_scheme("fpb")
+        assert s.ipm and s.gcp and s.mr_splits == DEFAULT_MR_SPLITS
+        cfg = s.apply_to_config(baseline_config())
+        assert cfg.cell_mapping == "bim"
+        assert cfg.power.gcp_efficiency == 0.70
+
+
+class TestParsedSchemes:
+    def test_gcp_pattern(self):
+        s = get_scheme("gcp-vim-0.5")
+        assert s.gcp and not s.ipm
+        assert s.mapping == "vim"
+        assert s.gcp_efficiency == 0.5
+
+    def test_gcp_ne_alias(self):
+        assert get_scheme("gcp-ne-0.95").mapping == "ne"
+
+    def test_ipm_defaults(self):
+        s = get_scheme("ipm")
+        assert s.ipm and s.gcp and s.mr_splits == 1
+        assert s.mapping == "bim"
+        assert s.gcp_efficiency == 0.70
+
+    def test_ipm_mr_default_splits(self):
+        assert get_scheme("ipm+mr").mr_splits == DEFAULT_MR_SPLITS
+
+    def test_ipm_mr_explicit_splits(self):
+        assert get_scheme("ipm+mr4").mr_splits == 4
+
+    def test_ipm_with_mapping_and_efficiency(self):
+        s = get_scheme("ipm+mr-vim-0.3")
+        assert s.mapping == "vim"
+        assert s.gcp_efficiency == 0.3
+        assert s.mr_splits == DEFAULT_MR_SPLITS
+
+    def test_case_insensitive(self):
+        assert get_scheme("FPB").name == "fpb"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_scheme("warp-drive")
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            get_scheme("gcp-bim-1.5")
+
+    def test_bad_mr_rejected(self):
+        with pytest.raises(ConfigError):
+            get_scheme("ipm+mr1")
+
+
+class TestManagerConstruction:
+    @pytest.mark.parametrize("name", [
+        "ideal", "dimm-only", "dimm+chip", "pwl", "2xlocal", "sche24",
+        "gcp-bim-0.7", "ipm", "ipm+mr", "fpb",
+    ])
+    def test_build_manager(self, name):
+        scheme = get_scheme(name)
+        cfg = scheme.apply_to_config(baseline_config())
+        manager = scheme.build_manager(cfg, DIMM(cfg))
+        assert manager.name == scheme.name
+        assert (manager.gcp is not None) == scheme.gcp

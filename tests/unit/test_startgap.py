@@ -1,0 +1,75 @@
+"""Start-Gap inter-line wear leveling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.startgap import StartGap
+
+
+class TestMapping:
+    def test_initial_identity(self):
+        sg = StartGap(8)
+        for logical in range(8):
+            assert sg.physical_of(logical) == logical
+
+    def test_bijective_always(self):
+        sg = StartGap(8, gap_write_interval=1)
+        for _ in range(100):
+            assert sg.mapping_is_bijective()
+            sg.record_write()
+
+    def test_inverse_mapping(self):
+        sg = StartGap(16, gap_write_interval=1)
+        for _ in range(40):
+            sg.record_write()
+        for logical in range(16):
+            assert sg.logical_of(sg.physical_of(logical)) == logical
+
+    def test_gap_has_no_logical_line(self):
+        sg = StartGap(8, gap_write_interval=1)
+        for _ in range(13):
+            sg.record_write()
+        assert sg.logical_of(sg.gap) is None
+
+    def test_out_of_range(self):
+        sg = StartGap(8)
+        with pytest.raises(ConfigError):
+            sg.physical_of(8)
+        with pytest.raises(ConfigError):
+            sg.logical_of(9)
+
+
+class TestRotation:
+    def test_gap_moves_every_interval(self):
+        sg = StartGap(8, gap_write_interval=4)
+        moved = [sg.record_write() for _ in range(12)]
+        assert moved.count(True) == 3
+        assert sg.gap_moves == 3
+
+    def test_gap_wraps_and_start_advances(self):
+        sg = StartGap(4, gap_write_interval=1)
+        # n_lines+1 = 5 gap moves complete one rotation.
+        for _ in range(5):
+            sg.record_write()
+        assert sg.start == 1
+        assert sg.gap == 4
+
+    def test_lines_sweep_all_slots(self):
+        """Over a full cycle, a logical line visits every physical slot
+        — the property that levels wear across lines."""
+        sg = StartGap(4, gap_write_interval=1)
+        visited = set()
+        for _ in range(5 * 5):
+            visited.add(sg.physical_of(0))
+            sg.record_write()
+        assert visited == set(range(5))
+
+    def test_write_overhead(self):
+        assert StartGap(8, gap_write_interval=100).write_overhead_fraction() \
+            == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StartGap(0)
+        with pytest.raises(ConfigError):
+            StartGap(8, gap_write_interval=0)

@@ -1,0 +1,106 @@
+"""Simulation timeline recorder."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies.registry import get_scheme
+from repro.pcm.dimm import DIMM
+from repro.sim.cpu import Core
+from repro.sim.debug import Timeline
+from repro.sim.events import SimEngine
+from repro.sim.memory_system import MemorySystem
+from repro.sim.stats import SimStats
+from repro.trace.records import PCMAccess, READ, WRITE
+
+from ..conftest import make_tiny_config
+
+
+def run_with_timeline(streams, scheme="dimm+chip", capacity=None):
+    config = make_tiny_config()
+    spec = get_scheme(scheme)
+    cfg = spec.apply_to_config(config)
+    engine = SimEngine()
+    stats = SimStats()
+    dimm = DIMM(cfg)
+    mem = MemorySystem(cfg, dimm, spec.build_manager(cfg, dimm), engine, stats)
+    timeline = Timeline(capacity=capacity).attach(mem)
+    cores = [Core(i, s, engine, mem) for i, s in enumerate(streams)]
+    for core in cores:
+        core.start()
+    end = engine.run()
+    mem.finalize(end)
+    return timeline, stats
+
+
+def write_rec(addr, n=30, gap=100):
+    idx = np.unique(np.linspace(0, 1023, n).astype(np.int64))
+    return PCMAccess(core=0, kind=WRITE, line_addr=addr, gap_instr=gap,
+                     gap_hit_cycles=0, changed_idx=idx,
+                     iter_counts=np.full(idx.size, 2, dtype=np.uint8))
+
+
+def read_rec(addr, gap=100, core=1):
+    return PCMAccess(core=core, kind=READ, line_addr=addr,
+                     gap_instr=gap, gap_hit_cycles=0)
+
+
+class TestTimeline:
+    def test_records_issue_and_completion(self):
+        timeline, stats = run_with_timeline([[write_rec(0)], []])
+        counts = timeline.counts()
+        assert counts["write_issue"] == 1
+        assert counts["write_round_done"] == 1
+        assert counts["iteration_end"] == 2  # RESET + 1 SET
+
+    def test_reads_recorded(self):
+        timeline, _ = run_with_timeline([[], [read_rec(0, core=1)]])
+        assert len(timeline.of_kind("read_issue")) == 1
+
+    def test_event_ordering(self):
+        timeline, _ = run_with_timeline([[write_rec(0)], []])
+        issue = timeline.of_kind("write_issue")[0]
+        done = timeline.of_kind("write_round_done")[0]
+        assert issue.time < done.time
+
+    def test_detail_fields(self):
+        timeline, _ = run_with_timeline([[write_rec(0, n=25)], []])
+        issue = timeline.of_kind("write_issue")[0]
+        assert issue.detail["bank"] == 0
+        assert issue.detail["cells"] == 25
+
+    def test_capacity_cap(self):
+        streams = [[write_rec(k * 256) for k in range(8)], []]
+        timeline, _ = run_with_timeline(streams, capacity=5)
+        assert len(timeline) == 5
+
+    def test_dump_renders(self):
+        timeline, _ = run_with_timeline([[write_rec(0)], []])
+        text = timeline.dump(limit=2)
+        assert "write_issue" in text
+        assert "more" in text or len(timeline) <= 2
+
+    def test_double_attach_rejected(self):
+        timeline, _ = run_with_timeline([[write_rec(0)], []])
+        with pytest.raises(RuntimeError):
+            timeline.attach(object())  # type: ignore[arg-type]
+
+    def test_behaviour_unchanged(self):
+        """Attaching a timeline must not perturb results."""
+        _, with_t = run_with_timeline([[write_rec(0), write_rec(512)], []])
+        # Reference run without timeline.
+        config = make_tiny_config()
+        spec = get_scheme("dimm+chip")
+        cfg = spec.apply_to_config(config)
+        engine = SimEngine()
+        stats = SimStats()
+        dimm = DIMM(cfg)
+        mem = MemorySystem(cfg, dimm, spec.build_manager(cfg, dimm),
+                           engine, stats)
+        cores = [Core(0, [write_rec(0), write_rec(512)], engine, mem),
+                 Core(1, [], engine, mem)]
+        for core in cores:
+            core.start()
+        end = engine.run()
+        mem.finalize(end)
+        assert stats.writes_done == with_t.writes_done
+        assert stats.total_cycles == with_t.total_cycles

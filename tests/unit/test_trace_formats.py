@@ -1,0 +1,78 @@
+"""Trace save/load roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.runner import run_simulation
+from repro.trace.formats import load_trace, save_trace
+from repro.trace.generator import generate_trace
+
+from ..conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        make_tiny_config(), "mcf_m",
+        n_pcm_writes=40, max_refs_per_core=10_000,
+    )
+
+
+class TestRoundtrip:
+    def test_stats_preserved(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.workload == trace.workload
+        assert loaded.line_size == trace.line_size
+        assert loaded.summary() == trace.summary()
+
+    def test_records_preserved(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.n_cores == trace.n_cores
+        for a_stream, b_stream in zip(trace.per_core, loaded.per_core):
+            assert len(a_stream) == len(b_stream)
+            for a, b in zip(a_stream, b_stream):
+                assert (a.kind, a.line_addr, a.gap_instr, a.gap_hit_cycles) \
+                    == (b.kind, b.line_addr, b.gap_instr, b.gap_hit_cycles)
+                if a.kind == "W":
+                    assert (a.changed_idx == b.changed_idx).all()
+                    assert (a.iter_counts == b.iter_counts).all()
+                    assert a.slc_bit_changes == b.slc_bit_changes
+
+    def test_simulation_identical_on_loaded_trace(self, trace, tmp_path):
+        """A loaded trace must replay bit-identically."""
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        config = make_tiny_config()
+        a = run_simulation(config, "mcf_m", "fpb", trace=trace)
+        b = run_simulation(config, "mcf_m", "fpb", trace=loaded)
+        assert a.cycles == b.cycles
+        assert a.stats.summary() == b.stats.summary()
+
+    def test_version_check(self, trace, tmp_path):
+        import json
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 99
+        data["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        from repro.trace.records import Trace
+        empty = Trace(workload="none", line_size=256, per_core=[[], []])
+        path = tmp_path / "e.npz"
+        save_trace(empty, path)
+        loaded = load_trace(path)
+        assert loaded.n_accesses == 0
+        assert loaded.n_cores == 2

@@ -1,0 +1,129 @@
+"""Behavioural checks of the synthetic benchmark patterns."""
+
+import itertools
+
+import numpy as np
+
+from repro.rng import make_rng
+from repro.trace.synthetic import (
+    AstarWorkload,
+    BwavesWorkload,
+    LbmWorkload,
+    MummerWorkload,
+    QsortWorkload,
+    StreamAdd,
+    TigrWorkload,
+    XalancWorkload,
+)
+
+
+def take(bench, n, seed=1):
+    return list(itertools.islice(bench.refs(make_rng(seed, "wp"), 0), n))
+
+
+class TestHotCold:
+    def test_xalan_mostly_hot(self):
+        bench = XalancWorkload()
+        refs = take(bench, 5000)
+        hot = sum(1 for r in refs if r.addr < bench.hot_bytes)
+        assert hot / len(refs) > 0.95
+
+    def test_xalan_excursions_reach_cold(self):
+        bench = XalancWorkload()
+        refs = take(bench, 20_000)
+        cold = [r for r in refs if r.addr >= bench.hot_bytes]
+        assert cold  # rare but present
+
+
+class TestStencil:
+    def test_bwaves_alternates_src_dst(self):
+        bench = BwavesWorkload()
+        refs = take(bench, 200)
+        half = bench.footprint_bytes // 2
+        reads = [r for r in refs if not r.is_write]
+        writes = [r for r in refs if r.is_write]
+        assert all(r.addr < half for r in reads)
+        assert all(r.addr >= half for r in writes)
+
+    def test_lbm_writes_fp_patterns(self):
+        bench = LbmWorkload()
+        writes = [r for r in take(bench, 400) if r.is_write]
+        for ref in writes[:20]:
+            value = np.uint64(ref.value).view(np.float64)
+            assert 0.5 < float(value) < 4.0  # plausible evolving doubles
+
+
+class TestRandomAccess:
+    def test_mummer_addresses_spread(self):
+        bench = MummerWorkload()
+        refs = take(bench, 3000)
+        addrs = np.array([r.addr for r in refs])
+        # Random traversal covers a wide span of the footprint.
+        assert addrs.max() - addrs.min() > bench.footprint_bytes // 2
+
+    def test_astar_locality_revisits(self):
+        local = AstarWorkload()
+        refs = take(local, 4000)
+        addrs = [r.addr for r in refs if not r.is_write]
+        unique_frac = len(set(addrs)) / len(addrs)
+        # Open-list reuse makes astar revisit more than tigr's pure
+        # random traversal.
+        tigr_refs = take(TigrWorkload(), 4000)
+        tigr_addrs = [r.addr for r in tigr_refs if not r.is_write]
+        tigr_unique = len(set(tigr_addrs)) / len(tigr_addrs)
+        assert unique_frac < tigr_unique
+
+    def test_write_follows_read_to_same_word(self):
+        refs = take(MummerWorkload(), 2000)
+        for prev, cur in zip(refs, refs[1:]):
+            if cur.is_write:
+                assert cur.addr == prev.addr
+
+
+class TestQsort:
+    def test_bursts_are_contiguous(self):
+        bench = QsortWorkload()
+        reads = [r.addr for r in take(bench, 500) if not r.is_write]
+        deltas = np.diff(reads)
+        # Within a burst, reads advance by one word.
+        assert (deltas == 8).mean() > 0.9
+
+
+class TestStreamKernels:
+    def test_add_reads_two_sources(self):
+        bench = StreamAdd()
+        refs = take(bench, 300)
+        third = bench.footprint_bytes // 3
+        regions = {
+            min(r.addr // third, 2) for r in refs if not r.is_write
+        }
+        assert regions == {0, 1}
+
+    def test_writes_to_destination_array(self):
+        bench = StreamAdd()
+        refs = take(bench, 300)
+        third = bench.footprint_bytes // 3
+        assert all(
+            r.addr >= 2 * third for r in refs if r.is_write
+        )
+
+
+class TestValueModels:
+    def test_int_delta_low_bits_only(self):
+        from repro.trace.synthetic.base import BatchedRandom, SyntheticWorkload
+        rnd = BatchedRandom(make_rng(2, "wp"))
+        base = 0xABCD_0000_0000_0000
+        values = [
+            SyntheticWorkload.int_delta_value(rnd, base, bits=16)
+            for _ in range(50)
+        ]
+        for value in values:
+            assert value & ~0xFFFF == base & ~0xFFFF & 0xFFFFFFFFFFFFFFFF
+
+    def test_fp_evolve_is_finite_double(self):
+        from repro.trace.synthetic.base import BatchedRandom, SyntheticWorkload
+        rnd = BatchedRandom(make_rng(3, "wp"))
+        for step in range(10):
+            bits = SyntheticWorkload.fp_evolve_value(rnd, step, 5)
+            value = float(np.uint64(bits).view(np.float64))
+            assert np.isfinite(value)

@@ -1,0 +1,165 @@
+"""WriteOperation: iteration schedules and power-demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.write_op import IterationKind, WriteOperation, WriteState
+from repro.errors import SchedulingError
+from repro.pcm.mapping import make_mapping
+
+MAPPING = make_mapping("naive", 1024, 8)
+C = 2.0  # Figure 5's illustrative RESET/SET power ratio.
+
+
+def figure5_write(mr_splits: int = 1) -> WriteOperation:
+    """WR-A of Figure 5: 50 changed cells, actives 50/48/26/12."""
+    iters = np.array([1] * 2 + [2] * 22 + [3] * 14 + [4] * 12)
+    # Spread the cells across the whole line so chips share them.
+    idx = np.arange(0, 1000, 20)
+    return WriteOperation(1, 0, 0, idx, iters, MAPPING, mr_splits=mr_splits)
+
+
+class TestSchedule:
+    def test_total_iterations(self):
+        assert figure5_write().total_iterations == 4
+
+    def test_kinds(self):
+        w = figure5_write()
+        assert w.iteration_kind(0) is IterationKind.RESET
+        assert all(
+            w.iteration_kind(i) is IterationKind.SET for i in range(1, 4)
+        )
+
+    def test_active_profile(self):
+        assert figure5_write().active.tolist() == [50, 48, 26, 12]
+
+    def test_cells_finishing_sum_to_total(self):
+        w = figure5_write()
+        done = sum(w.cells_finishing_at(i) for i in range(w.total_iterations))
+        assert done == 50
+
+    def test_cells_finishing_per_iteration(self):
+        w = figure5_write()
+        assert [w.cells_finishing_at(i) for i in range(4)] == [2, 22, 14, 12]
+
+    def test_out_of_range_iteration(self):
+        with pytest.raises(SchedulingError):
+            figure5_write().iteration_kind(4)
+
+    def test_initial_state(self):
+        w = figure5_write()
+        assert w.state is WriteState.QUEUED
+        assert w.current_iteration == 0
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(SchedulingError):
+            WriteOperation(
+                1, 0, 0, np.arange(5), np.array([1, 2]), MAPPING
+            )
+
+
+class TestIPMAllocationProfile:
+    """The Figure 5(b) token schedule, exactly."""
+
+    def test_dimm_allocs(self):
+        w = figure5_write()
+        allocs = [w.dimm_alloc(i, C, ipm=True) for i in range(4)]
+        assert allocs == [50.0, 25.0, 24.0, 13.0]
+
+    def test_per_write_allocs_are_flat(self):
+        w = figure5_write()
+        allocs = [w.dimm_alloc(i, C, ipm=False) for i in range(4)]
+        assert allocs == [50.0] * 4
+
+    def test_chip_allocs_sum_to_dimm(self):
+        w = figure5_write()
+        for i in range(4):
+            assert w.chip_alloc(i, C, ipm=True).sum() == pytest.approx(
+                w.dimm_alloc(i, C, ipm=True)
+            )
+
+    def test_iteration2_allocation_is_conservative(self):
+        """Iteration 2 reclaims (C-1)/C of the RESET tokens without yet
+        knowing how many cells finished (Section 3): 25 >= 48/2."""
+        w = figure5_write()
+        assert w.dimm_alloc(1, C, ipm=True) >= w.active[1] / C
+
+    def test_table1_ratio(self):
+        w = figure5_write()
+        c_table = 480.0 / 90.0
+        assert w.dimm_alloc(1, c_table, ipm=True) == pytest.approx(50 / c_table)
+
+
+class TestMultiReset:
+    def test_groups_partition_cells(self):
+        w = figure5_write(mr_splits=3)
+        assert w.group_totals.sum() == 50
+        assert w.group_chip_counts.sum() == 50
+
+    def test_total_iterations_grow(self):
+        assert figure5_write(mr_splits=3).total_iterations == 4 + 2
+
+    def test_reset_kinds(self):
+        w = figure5_write(mr_splits=3)
+        kinds = [w.iteration_kind(i) for i in range(w.total_iterations)]
+        assert kinds[:3] == [IterationKind.RESET] * 3
+        assert kinds[3:] == [IterationKind.SET] * 3
+
+    def test_group_demand_below_full_reset(self):
+        """The point of Multi-RESET: each RESET group needs fewer tokens
+        than the single full RESET (Section 3.2)."""
+        full = figure5_write()
+        split = figure5_write(mr_splits=3)
+        full_demand = full.dimm_alloc(0, C, ipm=True)
+        group_demands = [split.dimm_alloc(g, C, ipm=True) for g in range(3)]
+        assert max(group_demands) < full_demand
+
+    def test_set_phase_unchanged(self):
+        full = figure5_write()
+        split = figure5_write(mr_splits=2)
+        assert split.dimm_alloc(2, C, ipm=True) == full.dimm_alloc(1, C, ipm=True)
+        assert split.dimm_alloc(3, C, ipm=True) == full.dimm_alloc(2, C, ipm=True)
+
+    def test_cannot_replan_inflight(self):
+        w = figure5_write()
+        w.state = WriteState.ACTIVE
+        with pytest.raises(SchedulingError):
+            w.apply_multi_reset(3)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(SchedulingError):
+            figure5_write(mr_splits=0)
+
+
+class TestTruncation:
+    def test_truncation_caps_slow_cells(self):
+        """Write truncation [10]: once <= max_cells stragglers remain,
+        stop and let ECC fix them."""
+        iters = np.array([1] * 10 + [2] * 10 + [16] * 3)
+        w = WriteOperation(
+            1, 0, 0, np.arange(23), iters, MAPPING, truncate_max_cells=4
+        )
+        assert w.max_cell_iterations < 16
+
+    def test_no_truncation_when_many_slow(self):
+        iters = np.array([16] * 30)
+        w = WriteOperation(
+            1, 0, 0, np.arange(30), iters, MAPPING, truncate_max_cells=4
+        )
+        assert w.max_cell_iterations == 16
+
+    def test_truncation_disabled_by_zero(self):
+        iters = np.array([1] * 10 + [16] * 2)
+        w = WriteOperation(
+            1, 0, 0, np.arange(12), iters, MAPPING, truncate_max_cells=0
+        )
+        assert w.max_cell_iterations == 16
+
+
+class TestEmptyWrite:
+    def test_zero_changed_cells(self):
+        w = WriteOperation(
+            1, 0, 0, np.zeros(0, np.int64), np.zeros(0, np.int64), MAPPING
+        )
+        assert w.total_iterations == 0
+        assert w.n_changed == 0
