@@ -16,6 +16,9 @@ For paper-scale numbers use the CLI instead::
 
 from __future__ import annotations
 
+import pathlib
+from typing import Dict, List
+
 import pytest
 
 from repro.config.system import (
@@ -26,10 +29,21 @@ from repro.config.system import (
 )
 from repro.experiments.base import RunScale, clear_sim_cache
 from repro.experiments.registry import get_experiment
+from repro.obs.manifest import ManifestWriter, run_header
 from repro.trace.generator import clear_trace_cache, generate_trace
 
 #: The benchmark scale: one write-heavy and one read-heavy workload.
 BENCH_SCALE = RunScale("bench", 60, 12_000, ("mcf_m", "tig_m"))
+
+#: Where the benchmark harness records its trajectory manifest. Each
+#: session appends one header plus one ``bench_run`` record per
+#: experiment executed, in the stable manifest schema
+#: (docs/observability.md) so BENCH_*.json[l] files stay comparable
+#: across sessions.
+BENCH_MANIFEST = pathlib.Path(__file__).resolve().parent.parent / \
+    ".benchmarks" / "BENCH_runs.jsonl"
+
+_bench_records: List[Dict[str, object]] = []
 
 
 def bench_config(seed: int = 1) -> SystemConfig:
@@ -61,10 +75,37 @@ def warm_traces(config):
     clear_trace_cache()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_manifest(config):
+    """Append this session's benchmark trajectory to BENCH_runs.jsonl."""
+    yield
+    if not _bench_records:
+        return
+    writer = ManifestWriter(BENCH_MANIFEST)
+    writer.append(run_header(config, scale=BENCH_SCALE.name,
+                             harness="benchmarks"))
+    writer.extend(_bench_records)
+    _bench_records.clear()
+
+
 def run_experiment(exp_id: str, config: SystemConfig):
     """Fresh (uncached) run of one experiment at the benchmark scale."""
     clear_sim_cache()
-    return get_experiment(exp_id)(config, BENCH_SCALE)
+    result = get_experiment(exp_id)(config, BENCH_SCALE)
+    record: Dict[str, object] = {
+        "type": "bench_run",
+        "exp_id": exp_id,
+        "scale": result.scale,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    try:
+        gmean = dict(result.row_by("workload", "gmean"))
+        gmean.pop("workload", None)
+        record["gmean"] = gmean
+    except Exception:
+        pass  # tables without a gmean row record timing only
+    _bench_records.append(record)
+    return result
 
 
 def gmean_row(result):

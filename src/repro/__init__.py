@@ -48,6 +48,7 @@ from .errors import (
     TraceError,
 )
 from .experiments import available_experiments, get_experiment
+from .obs import MetricsRegistry, Telemetry
 from .sim import SimResult, run_schemes, run_simulation
 from .trace import (
     ALL_WORKLOADS,
@@ -64,6 +65,7 @@ __all__ = [
     "ConfigError",
     "ExperimentError",
     "MappingError",
+    "MetricsRegistry",
     "PowerManager",
     "QUICK_WORKLOADS",
     "ReproError",
@@ -72,6 +74,7 @@ __all__ = [
     "SimResult",
     "SimulationError",
     "SystemConfig",
+    "Telemetry",
     "TokenError",
     "TraceError",
     "WriteOperation",

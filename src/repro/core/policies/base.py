@@ -96,6 +96,9 @@ class PowerManager:
                 max_output_tokens=config.power.gcp_output_tokens(dimm.n_chips),
             )
         self._holdings: Dict[int, Holding] = {}
+        #: Optional telemetry observer (:class:`repro.obs.Telemetry`);
+        #: emits are guarded so the untraced path stays hot.
+        self.obs = None
         #: Why acquisitions failed (diagnostics and tests).
         self.fail_counts: Dict[str, int] = {"dimm": 0, "chip": 0, "gcp": 0}
         # PWL intra-line wear-leveling state: line -> [writes_left, offset].
@@ -138,6 +141,8 @@ class PowerManager:
             return True
         if self.ipm and self.mr_splits > 1 and write.mr_splits == 1:
             write.apply_multi_reset(self.mr_splits, grouping=self.mr_grouping)
+            if self.obs is not None:
+                self.obs.on_mr_split(write, now)
             if self._try_acquire(write, 0, now):
                 return True
             # Leave the MR plan in place; it can only lower the demand.
@@ -300,6 +305,8 @@ class PowerManager:
                 holding.sources[c] = SRC_GCP
             if gcp_total > 0:
                 write.gcp_peak_tokens = max(write.gcp_peak_tokens, gcp_total)
+                if self.obs is not None:
+                    self.obs.on_gcp_acquire(write, gcp_total, now)
         if self.enforce_dimm and dimm_input > TOKEN_EPS:
             self.dimm_pool.allocate(dimm_input, now)
             holding.dimm = dimm_input

@@ -254,6 +254,19 @@ class WriteOperation:
         nxt = int(self.active[j + 1]) if j + 1 < self.active.size else 0
         return int(self.active[j]) - nxt
 
+    def trace_args(self) -> dict:
+        """Metadata attached to this write's trace-event scope."""
+        return {
+            "write": self.write_id,
+            "addr": f"{self.line_addr:#x}",
+            "bank": self.bank,
+            "cells": self.n_changed,
+            "iterations": self.total_iterations,
+            "mr_splits": self.mr_splits,
+            "cancels": self.cancel_count,
+            "gcp_peak_tokens": self.gcp_peak_tokens,
+        }
+
     def __repr__(self) -> str:
         return (
             f"WriteOperation(id={self.write_id}, addr={self.line_addr:#x}, "

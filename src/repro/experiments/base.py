@@ -124,6 +124,22 @@ class Experiment(abc.ABC):
 # ----------------------------------------------------------------------
 _SIM_CACHE: Dict[Tuple, SimResult] = {}
 
+#: Telemetry observing all fresh simulation runs of this process (the
+#: CLI's --trace/--metrics-out plumbing). Memo-cache hits contributed
+#: their telemetry when first run and are not re-instrumented.
+_ACTIVE_TELEMETRY = None
+
+
+def use_telemetry(telemetry) -> None:
+    """Install (or with ``None`` remove) the process-wide telemetry
+    observer consulted by :func:`sim`."""
+    global _ACTIVE_TELEMETRY
+    _ACTIVE_TELEMETRY = telemetry
+
+
+def active_telemetry():
+    return _ACTIVE_TELEMETRY
+
 
 def clear_sim_cache() -> None:
     _SIM_CACHE.clear()
@@ -156,6 +172,7 @@ def sim(config: SystemConfig, workload: str, scheme: str,
             config, workload, scheme,
             n_pcm_writes=scale.n_pcm_writes,
             max_refs_per_core=scale.max_refs_per_core,
+            telemetry=_ACTIVE_TELEMETRY,
         )
         _SIM_CACHE[key] = result
     return result

@@ -5,6 +5,13 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig16 --scale quick
     python -m repro.experiments run all --scale default --out results/
+    python -m repro.experiments run fig16 --scale quick \\
+        --trace run.json --metrics-out run.jsonl
+
+All harness output goes through :mod:`repro.obs.logging` (the ``repro``
+logger namespace): ``-q`` silences reports, ``-v`` adds per-run
+diagnostics, and library users embedding the harness can filter or
+redirect it with standard :mod:`logging` configuration.
 """
 
 from __future__ import annotations
@@ -12,21 +19,50 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 from typing import List, Optional
 
 from ..config.presets import baseline_config
-from .base import DEFAULT, SCALES, RunScale
+from ..obs.logging import get_logger, setup_logging
+from .base import DEFAULT, SCALES, RunScale, use_telemetry
 from .registry import available_experiments, get_experiment
+
+log = get_logger("experiments")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive cycle count, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Verbosity flags ride a parent parser so they work both before and
+    # after the subcommand (`-q run ...` and `run ... -q`).
+    # SUPPRESS (not 0) so the subcommand's parse doesn't clobber counts
+    # taken before it; read back with getattr(args, ..., 0).
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="increase harness verbosity (per-run diagnostics)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="count", default=argparse.SUPPRESS,
+        help="silence reports (warnings and errors still shown)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the FPB (MICRO 2012) evaluation tables/figures.",
+        parents=[verbosity],
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    sub.add_parser("list", help="list available experiments",
+                   parents=[verbosity])
+    run = sub.add_parser("run", help="run one experiment (or 'all')",
+                         parents=[verbosity])
     run.add_argument("experiment", help="experiment id (fig2..fig23, tab1..tab3, all)")
     run.add_argument(
         "--scale", choices=sorted(SCALES), default=DEFAULT.name,
@@ -45,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true",
         help="with --out, also write <exp_id>.csv files",
     )
+    run.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a Perfetto trace_event JSON of all simulation runs",
+    )
+    run.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a JSON-lines run manifest (config, seed, metrics)",
+    )
+    run.add_argument(
+        "--sample-interval", type=_positive_int, default=5_000,
+        metavar="CYCLES",
+        help="telemetry sampling interval in cycles (default 5000)",
+    )
     return parser
 
 
@@ -56,6 +105,7 @@ def _run_one(exp_id: str, scale: RunScale, seed: int,
 
     experiment = get_experiment(exp_id)
     config = baseline_config(seed=seed)
+    log.debug("running %s at scale %s (seed %d)", exp_id, scale.name, seed)
     result = experiment(config, scale)
     text = result.to_table()
     if bars:
@@ -90,10 +140,11 @@ def _run_one(exp_id: str, scale: RunScale, seed: int,
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))
     if args.command == "list":
         for exp_id in available_experiments():
             exp = get_experiment(exp_id)
-            print(f"{exp_id:6s} {exp.title}")
+            log.info("%-6s %s", exp_id, exp.title)
         return 0
 
     scale = SCALES[args.scale]
@@ -102,10 +153,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment.lower() == "all"
         else [args.experiment]
     )
-    for exp_id in targets:
-        print(_run_one(exp_id, scale, args.seed, args.out,
-                       bars=args.bars, csv=args.csv))
-        print()
+
+    telemetry = None
+    if args.trace is not None or args.metrics_out is not None:
+        from ..obs import Telemetry
+        telemetry = Telemetry(sample_interval=args.sample_interval)
+        use_telemetry(telemetry)
+
+    wall_start = time.time()
+    try:
+        for exp_id in targets:
+            log.info("%s\n", _run_one(exp_id, scale, args.seed, args.out,
+                                      bars=args.bars, csv=args.csv))
+    finally:
+        use_telemetry(None)
+
+    if telemetry is not None:
+        if args.trace is not None:
+            telemetry.write_trace(args.trace)
+            log.info("wrote Perfetto trace: %s (%d events, open at "
+                     "https://ui.perfetto.dev)", args.trace,
+                     len(telemetry.trace))
+        if args.metrics_out is not None:
+            telemetry.write_manifest(
+                args.metrics_out,
+                baseline_config(seed=args.seed),
+                seed=args.seed,
+                scale=scale.name,
+                experiments=targets,
+                wall_time_s=time.time() - wall_start,
+            )
+            log.info("wrote run manifest: %s (%d runs)",
+                     args.metrics_out, len(telemetry.runs))
     return 0
 
 

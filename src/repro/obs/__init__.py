@@ -1,0 +1,51 @@
+"""Telemetry and observability for the simulator.
+
+The subsystem has four layers, all optional — a simulation run with no
+telemetry attached pays only a handful of ``is not None`` checks:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  log-scale histograms components register against.
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` façade: attaches
+  to a run, collects scope events (write rounds, bursts, GCP borrow
+  windows, Multi-RESET splits) and periodic pool/queue samples.
+* :mod:`repro.obs.perfetto` — export everything as Chrome/Perfetto
+  ``trace_event`` JSON, loadable at https://ui.perfetto.dev.
+* :mod:`repro.obs.manifest` — machine-readable run manifests
+  (JSON-lines) capturing config, seed, scale and the metrics snapshot.
+
+Quickstart::
+
+    from repro import baseline_config, run_simulation
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry()
+    result = run_simulation(baseline_config(), "mcf_m", "fpb",
+                            telemetry=telemetry)
+    telemetry.write_trace("run.json")          # open in Perfetto
+    telemetry.write_manifest("run.jsonl")      # JSON-lines manifest
+
+See docs/observability.md for the metrics catalog and schemas.
+"""
+
+from .logging import get_logger, setup_logging
+from .manifest import ManifestWriter, config_to_dict, read_manifest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perfetto import TraceBuilder, cycles_to_us
+from .sampler import TimeSeries
+from .telemetry import Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestWriter",
+    "MetricsRegistry",
+    "Telemetry",
+    "TimeSeries",
+    "TraceBuilder",
+    "config_to_dict",
+    "cycles_to_us",
+    "get_logger",
+    "read_manifest",
+    "setup_logging",
+]

@@ -1,0 +1,90 @@
+"""Logging setup for the experiment harness.
+
+The library itself never prints: harness chatter (progress, reports,
+warnings) goes through loggers under the ``repro`` namespace so
+applications embedding the library can silence or redirect it with the
+standard :mod:`logging` machinery.
+
+:func:`setup_logging` is the CLI's one-stop configuration honoring
+``--verbose`` / ``--quiet``. It installs a bare ``message``-only
+formatter on stderr-bound handlers for WARNING+ and stdout for INFO and
+below, so report text looks exactly like the old ``print`` output while
+remaining filterable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Verbosity argument -> logging level. ``0`` is the CLI default.
+_LEVELS = {
+    -1: logging.WARNING,   # --quiet: reports suppressed, problems shown
+    0: logging.INFO,       # default: reports shown
+    1: logging.DEBUG,      # --verbose: per-run diagnostics
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class _MaxLevelFilter(logging.Filter):
+    def __init__(self, max_level: int):
+        super().__init__()
+        self.max_level = max_level
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno <= self.max_level
+
+
+def setup_logging(verbosity: int = 0,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use.
+
+    ``verbosity``: -1 (quiet) / 0 (normal) / 1+ (verbose). Idempotent —
+    calling again replaces the handlers, so tests can reconfigure.
+    ``stream`` overrides both output streams (for capture in tests).
+    """
+    level = _LEVELS.get(max(-1, min(1, verbosity)), logging.INFO)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+    out = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    out.setFormatter(logging.Formatter("%(message)s"))
+    out.addFilter(_MaxLevelFilter(logging.INFO))
+    logger.addHandler(out)
+
+    err = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    err.setFormatter(logging.Formatter("%(levelname)s: %(message)s"))
+    err.setLevel(logging.WARNING)
+    logger.addHandler(err)
+
+    logger.propagate = False
+    return logger
+
+
+def reset_logging() -> None:
+    """Remove handlers installed by :func:`setup_logging` (tests)."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)
+
+
+def library_null_handler() -> None:
+    """Attach a ``NullHandler`` so library use without CLI setup never
+    triggers the 'no handlers' warning."""
+    logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())

@@ -1,0 +1,106 @@
+"""Run manifests: machine-readable records of what was simulated.
+
+A manifest is a JSON-lines file — one JSON object per line — so records
+stream-append during long sweeps and partial files stay parseable.
+Every record carries a ``type`` tag; the two core types are:
+
+``run_header``
+    Written once per invocation: tool version, seed, scale, the full
+    :class:`SystemConfig` as a dict, and free-form context.
+
+``sim_run``
+    One per simulation: scheme, workload, cycles, CPI, wall time, the
+    :class:`SimStats` snapshot and the metrics-registry snapshot.
+
+See docs/observability.md for the full schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+#: Schema version stamped into every header record; bump on breaking
+#: changes so downstream consumers (plotters, dashboards) can dispatch.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Recursively coerce config values into JSON-safe primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_to_dict(config) -> Dict[str, object]:
+    """A :class:`SystemConfig` (or any dataclass) as nested JSON dicts."""
+    return _jsonable(config)
+
+
+class ManifestWriter:
+    """Appends JSON-lines records to a manifest file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.records_written = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        if "type" not in record:
+            raise ValueError("manifest records need a 'type' tag")
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(_jsonable(record)) + "\n")
+        self.records_written += 1
+
+    def extend(self, records: Iterable[Dict[str, object]]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __repr__(self) -> str:
+        return f"ManifestWriter({self.path}, {self.records_written} records)"
+
+
+def run_header(config, *, seed: Optional[int] = None,
+               scale: Optional[str] = None,
+               **context) -> Dict[str, object]:
+    """Build the once-per-invocation header record."""
+    from .. import __version__
+
+    record: Dict[str, object] = {
+        "type": "run_header",
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "repro_version": __version__,
+        "seed": seed if seed is not None else getattr(config, "seed", None),
+        "scale": scale,
+        "config": config_to_dict(config),
+    }
+    record.update(context)
+    return record
+
+
+def read_manifest(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSON-lines manifest back into records (blank lines
+    skipped; raises ``json.JSONDecodeError`` on corrupt lines)."""
+    records: List[Dict[str, object]] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

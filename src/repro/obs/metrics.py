@@ -1,0 +1,185 @@
+"""Metrics primitives: counters, gauges and log-scale histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Components never construct instruments directly; they call
+``registry.counter("writes_done")`` which gets-or-creates, so several
+components can share one instrument and re-registration is cheap.
+
+Instruments are deliberately minimal — plain Python attributes, no
+locks, no label sets — because they sit on the simulator's hot path.
+When no registry is attached the instrumented code skips the call
+entirely (one ``is not None`` check), which keeps the disabled-path
+overhead within the ≤3% budget on ``bench_kernel``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Instrument misuse (type clash, bad observation)."""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"{self.name}: counters cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pool occupancy)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log-scale (base-2) histogram of non-negative observations.
+
+    Bucket ``k`` counts observations in ``[2**(k-1), 2**k)`` (bucket 0
+    is ``[0, 1)``), which spans write latencies of a few hundred cycles
+    and multi-million-cycle bursts alike in ~32 buckets. Also tracks
+    count / sum / min / max so means are exact, not bucket-resolution.
+    """
+
+    __slots__ = ("name", "help", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise MetricsError(f"{self.name}: negative observation {value}")
+        bucket = 0 if value < 1.0 else int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"{self.name}: quantile {q} out of [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return float(2 ** bucket) if bucket else 1.0
+        return float(self.max)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Flat get-or-create namespace of instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise MetricsError(
+                f"{name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments' current values, grouped by kind."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.snapshot()
+            else:
+                out["histograms"][name] = instrument.snapshot()
+        return out
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -1,0 +1,136 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Produces the JSON Object Format of the Trace Event specification:
+``{"traceEvents": [...], "displayTimeUnit": "ns", "otherData": {...}}``,
+which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.
+
+Mapping of simulator concepts onto the trace model:
+
+* one simulation run = one *process* (pid), named ``workload/scheme``;
+* banks, the burst state, the GCP and the scheduler are *threads*
+  (tids) within that process;
+* write rounds are complete ("X") duration events on their bank's
+  thread; bursts and GCP borrow windows are durations on their own
+  threads; pauses, cancellations, stalls and Multi-RESET splits are
+  instant ("i") events;
+* sampled pool/queue time series become counter ("C") events, rendered
+  by Perfetto as stacked area tracks.
+
+Timestamps are microseconds (the spec's unit); cycles convert via the
+configured core frequency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Reserved tids within a run's process. Banks use tid = bank index
+#: (0..n_banks-1); control tracks sit above them.
+TID_BURST = 100
+TID_GCP = 101
+TID_SCHED = 102
+
+
+def cycles_to_us(cycles: Union[int, float], freq_ghz: float) -> float:
+    """CPU cycles at ``freq_ghz`` to trace microseconds."""
+    return cycles / (freq_ghz * 1000.0)
+
+
+class TraceBuilder:
+    """Accumulates trace events; timestamps stay in cycles until export."""
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, object]] = []
+        self._meta: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def process(self, pid: int, name: str) -> None:
+        self._meta.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name},
+        })
+
+    def thread(self, pid: int, tid: int, name: str) -> None:
+        self._meta.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name},
+        })
+
+    # ------------------------------------------------------------------
+    # Events (times in cycles; converted at export)
+    # ------------------------------------------------------------------
+    def complete(self, pid: int, tid: int, name: str, begin: int,
+                 end: int, args: Optional[Dict[str, object]] = None,
+                 category: str = "sim") -> None:
+        """A duration event spanning ``[begin, end]`` cycles."""
+        event: Dict[str, object] = {
+            "ph": "X", "pid": pid, "tid": tid, "name": name,
+            "cat": category, "ts": begin, "dur": max(0, end - begin),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(self, pid: int, tid: int, name: str, time: int,
+                args: Optional[Dict[str, object]] = None,
+                category: str = "sim") -> None:
+        event: Dict[str, object] = {
+            "ph": "i", "pid": pid, "tid": tid, "name": name,
+            "cat": category, "ts": time, "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, pid: int, name: str, time: int,
+                values: Dict[str, float], category: str = "sim") -> None:
+        self._events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": name,
+            "cat": category, "ts": time, "args": dict(values),
+        })
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self, freq_ghz: float = 4.0,
+                other_data: Optional[Dict[str, object]] = None
+                ) -> Dict[str, object]:
+        """The full trace as a JSON-serialisable dict."""
+        events: List[Dict[str, object]] = list(self._meta)
+        for raw in self._events:
+            event = dict(raw)
+            event["ts"] = cycles_to_us(int(event["ts"]), freq_ghz)
+            if "dur" in event:
+                event["dur"] = cycles_to_us(int(event["dur"]), freq_ghz)
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": dict(other_data or {}),
+        }
+
+    def to_json(self, freq_ghz: float = 4.0,
+                other_data: Optional[Dict[str, object]] = None) -> str:
+        return json.dumps(self.to_dict(freq_ghz, other_data))
+
+    def write(self, path, freq_ghz: float = 4.0,
+              other_data: Optional[Dict[str, object]] = None) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            json.dump(self.to_dict(freq_ghz, other_data), handle)
+
+    def events_named(self, name: str) -> List[Dict[str, object]]:
+        """All non-metadata events with one name (for tests)."""
+        return [e for e in self._events if e["name"] == name]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"TraceBuilder({len(self._events)} events)"

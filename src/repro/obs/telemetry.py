@@ -1,0 +1,310 @@
+"""The :class:`Telemetry` façade: one object that observes runs.
+
+Attach points (all wired automatically by ``run_simulation(...,
+telemetry=...)``):
+
+* ``MemorySystem.obs`` / ``PowerManager.obs`` — scope and instant
+  events plus histogram observations, emitted from guarded hooks on
+  the scheduler's state transitions;
+* ``SimEngine.set_probe`` — periodic pool/queue sampling that
+  piggybacks on existing event timestamps (see
+  :mod:`repro.obs.sampler` for why this keeps runs bit-identical).
+
+One ``Telemetry`` may observe many sequential runs (a scheme sweep);
+each run becomes its own Perfetto process and its own ``sim_run``
+manifest record.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .manifest import ManifestWriter, run_header
+from .metrics import MetricsRegistry
+from .perfetto import TID_BURST, TID_GCP, TID_SCHED, TraceBuilder
+from .sampler import StateSampler, TimeSeries
+
+
+class _RunContext:
+    """Book-keeping for one simulation run being observed."""
+
+    __slots__ = ("pid", "scheme", "workload", "series", "open_rounds",
+                 "open_gcp", "burst_since", "wall_start", "record")
+
+    def __init__(self, pid: int, scheme: str, workload: str):
+        self.pid = pid
+        self.scheme = scheme
+        self.workload = workload
+        self.series: Dict[str, TimeSeries] = {}
+        #: write_id -> round-begin cycle (open write-round scopes).
+        self.open_rounds: Dict[int, int] = {}
+        #: write_id -> [first-acquire cycle, peak tokens] (GCP windows).
+        self.open_gcp: Dict[int, List[float]] = {}
+        self.burst_since: Optional[int] = None
+        self.wall_start = 0.0
+        self.record: Optional[Dict[str, object]] = None
+
+
+class Telemetry:
+    """Collects metrics, time series, trace events and run manifests."""
+
+    def __init__(self, sample_interval: int = 5_000,
+                 registry: Optional[MetricsRegistry] = None):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sample_interval = sample_interval
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = TraceBuilder()
+        #: Completed ``sim_run`` manifest records, in run order.
+        self.runs: List[Dict[str, object]] = []
+        self._run: Optional[_RunContext] = None
+        self._next_pid = 0
+        self._freq_ghz: Optional[float] = None
+
+        reg = self.registry
+        self._c_rounds = reg.counter(
+            "write_rounds_done", "completed write rounds")
+        self._c_writes = reg.counter("writes_done", "completed line writes")
+        self._c_cancels = reg.counter(
+            "write_cancellations", "writes aborted for a read")
+        self._c_pauses = reg.counter(
+            "write_pauses", "writes paused at an iteration boundary")
+        self._c_stalls = reg.counter(
+            "write_stalls", "iterations deferred waiting for tokens")
+        self._c_bursts = reg.counter("burst_entries", "write bursts entered")
+        self._c_mr = reg.counter(
+            "mr_splits", "writes re-planned with Multi-RESET")
+        self._c_round_splits = reg.counter(
+            "round_splits", "writes split into sequential rounds")
+        self._c_gcp = reg.counter(
+            "gcp_acquires", "iterations that borrowed GCP output")
+        self._h_latency = reg.histogram(
+            "write_latency_cycles", "queue-to-completion write latency")
+        self._h_iters = reg.histogram(
+            "iterations_per_round", "P&V iterations per write round")
+        self._h_tokens = reg.histogram(
+            "tokens_per_round", "RESET-token demand per write round")
+        self._h_wrq = reg.histogram(
+            "wrq_depth_at_submit", "WRQ depth seen by arriving writes")
+        self._h_gcp_tokens = reg.histogram(
+            "gcp_tokens_per_window", "peak GCP output per borrow window")
+
+    # ==================================================================
+    # Run lifecycle (called by repro.sim.runner)
+    # ==================================================================
+    def attach(self, config, scheme: str, workload: str,
+               engine, mem, manager) -> None:
+        """Instrument one run. The engine/mem/manager are per-run
+        throwaways, so there is no detach."""
+        if self._run is not None:
+            raise RuntimeError(
+                "telemetry already observing a run; finish_run() it first"
+            )
+        pid = self._next_pid
+        self._next_pid += 1
+        if self._freq_ghz is None:
+            self._freq_ghz = config.cpu.freq_ghz
+        run = _RunContext(pid, scheme, workload)
+        run.wall_start = time.perf_counter()
+        self._run = run
+
+        self.trace.process(pid, f"{workload}/{scheme}")
+        for bank in mem.dimm.banks:
+            self.trace.thread(pid, bank.bank_id, f"bank{bank.bank_id}")
+        self.trace.thread(pid, TID_BURST, "write-burst")
+        self.trace.thread(pid, TID_GCP, "gcp-borrow")
+        self.trace.thread(pid, TID_SCHED, "scheduler")
+
+        mem.obs = self
+        manager.obs = self
+        sampler = StateSampler(mem, manager, run.series)
+        engine.set_probe(self.sample_interval, sampler.probe)
+
+    def finish_run(self, stats, end: int) -> Dict[str, object]:
+        """Close the current run: flush counter tracks and build its
+        ``sim_run`` manifest record."""
+        run = self._require_run()
+        wall = time.perf_counter() - run.wall_start
+        if run.burst_since is not None:  # burst open at end of sim
+            self.trace.complete(run.pid, TID_BURST, "write_burst",
+                                run.burst_since, end)
+            run.burst_since = None
+        for name, series in run.series.items():
+            for t, v in zip(series.times, series.values):
+                self.trace.counter(run.pid, name, t, {name: v})
+        record: Dict[str, object] = {
+            "type": "sim_run",
+            "pid": run.pid,
+            "scheme": run.scheme,
+            "workload": run.workload,
+            "cycles": end,
+            "cpi": stats.cpi,
+            "wall_time_s": wall,
+            "stats": stats.snapshot(),
+            "series": {
+                name: {
+                    "samples": len(series),
+                    "last": series.last()[1],
+                    "max": max(series.values) if series.values else 0.0,
+                }
+                for name, series in sorted(run.series.items())
+            },
+        }
+        run.record = record
+        self.runs.append(record)
+        self._run = None
+        return record
+
+    def discard_run(self) -> None:
+        """Drop the in-progress run context (aborted simulation)."""
+        self._run = None
+
+    def _require_run(self) -> _RunContext:
+        if self._run is None:
+            raise RuntimeError("telemetry is not attached to a run")
+        return self._run
+
+    # ==================================================================
+    # Hooks (called from MemorySystem / PowerManager hot paths)
+    # ==================================================================
+    def on_write_round_begin(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        run.open_rounds[write.write_id] = now
+        self._h_tokens.observe(float(write.n_changed))
+        self._h_iters.observe(float(write.total_iterations))
+
+    def on_write_round_end(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        begin = run.open_rounds.pop(write.write_id, now)
+        self.trace.complete(run.pid, write.bank, "write_round", begin, now,
+                            args=write.trace_args())
+        self._c_rounds.inc()
+        self._close_gcp_window(run, write, now)
+
+    def on_write_cancelled(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        begin = run.open_rounds.pop(write.write_id, now)
+        self.trace.complete(run.pid, write.bank, "write_round (cancelled)",
+                            begin, now, args=write.trace_args())
+        self._c_cancels.inc()
+        self._close_gcp_window(run, write, now)
+
+    def on_write_paused(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        self.trace.instant(run.pid, write.bank, "write_pause", now,
+                           args={"write": write.write_id})
+        self._c_pauses.inc()
+
+    def on_write_stalled(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        self.trace.instant(run.pid, write.bank, "write_stall", now,
+                           args={"write": write.write_id,
+                                 "iteration": write.current_iteration})
+        self._c_stalls.inc()
+
+    def on_write_done(self, job, latency: int, now: int) -> None:
+        if self._run is None:
+            return
+        self._c_writes.inc()
+        self._h_latency.observe(float(latency))
+
+    def on_wrq_depth(self, depth: int) -> None:
+        if self._run is None:
+            return
+        self._h_wrq.observe(float(depth))
+
+    def on_burst(self, started: bool, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        if started:
+            run.burst_since = now
+            self._c_bursts.inc()
+        elif run.burst_since is not None:
+            self.trace.complete(run.pid, TID_BURST, "write_burst",
+                                run.burst_since, now)
+            run.burst_since = None
+
+    def on_round_split(self, job, n_rounds: int, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        self.trace.instant(run.pid, TID_SCHED, "round_split", now,
+                           args={"rounds": n_rounds, "bank": job.bank})
+        self._c_round_splits.inc()
+
+    def on_mr_split(self, write, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        self.trace.instant(run.pid, TID_SCHED, "mr_split", now,
+                           args={"write": write.write_id,
+                                 "groups": write.mr_splits})
+        self._c_mr.inc()
+
+    def on_gcp_acquire(self, write, tokens: float, now: int) -> None:
+        run = self._run
+        if run is None:
+            return
+        self._c_gcp.inc()
+        window = run.open_gcp.get(write.write_id)
+        if window is None:
+            run.open_gcp[write.write_id] = [now, tokens]
+        elif tokens > window[1]:
+            window[1] = tokens
+
+    def _close_gcp_window(self, run: _RunContext, write, now: int) -> None:
+        window = run.open_gcp.pop(write.write_id, None)
+        if window is not None:
+            begin, peak = int(window[0]), window[1]
+            self.trace.complete(
+                run.pid, TID_GCP, "gcp_borrow", begin, now,
+                args={"write": write.write_id, "peak_tokens": peak},
+            )
+            self._h_gcp_tokens.observe(peak)
+
+    # ==================================================================
+    # Export
+    # ==================================================================
+    def write_trace(self, path, freq_ghz: Optional[float] = None) -> None:
+        """Write everything observed so far as Perfetto-loadable JSON."""
+        self.trace.write(
+            path,
+            freq_ghz=freq_ghz or self._freq_ghz or 4.0,
+            other_data={"runs": len(self.runs)},
+        )
+
+    def write_manifest(self, path, config=None, *,
+                       seed: Optional[int] = None,
+                       scale: Optional[str] = None,
+                       **context) -> ManifestWriter:
+        """Write header + per-run records + the full metrics snapshot
+        as JSON-lines."""
+        writer = ManifestWriter(path)
+        if config is not None:
+            writer.append(run_header(config, seed=seed, scale=scale,
+                                     **context))
+        writer.extend(self.runs)
+        writer.append({
+            "type": "metrics_snapshot",
+            "metrics": self.registry.snapshot(),
+        })
+        return writer
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(runs={len(self.runs)}, "
+            f"trace_events={len(self.trace)}, "
+            f"instruments={len(self.registry)})"
+        )

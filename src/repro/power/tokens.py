@@ -74,6 +74,11 @@ class TokenPool:
             self._weighted_alloc += self.allocated * (now - self._last_time)
             self._last_time = now
 
+    @property
+    def occupancy(self) -> float:
+        """Allocated fraction of the budget, in [0, 1] (telemetry)."""
+        return self.allocated / self.budget
+
     def mean_allocated(self, now: int) -> float:
         """Time-weighted mean allocation over [0, now]."""
         self._advance(now)

@@ -10,7 +10,13 @@ tests can assert on ordering. Attach with::
     timeline.attach(mem)
 
 The recorder wraps the memory system's internal transitions without
-changing behaviour; overhead is one append per event.
+changing behaviour; overhead is one append per event. ``detach()``
+restores the wrapped methods. With a ``capacity``, events past the cap
+are counted in ``Timeline.dropped`` rather than recorded.
+
+For metrics, time series and Perfetto trace export, see the richer
+:class:`repro.obs.Telemetry` — this recorder stays as the lightweight
+in-process inspection tool.
 """
 
 from __future__ import annotations
@@ -58,7 +64,10 @@ class Timeline:
     def __init__(self, capacity: Optional[int] = None):
         self.events: List[TimelineEvent] = []
         self.capacity = capacity
+        #: Events discarded because ``capacity`` was reached.
+        self.dropped = 0
         self._attached: Optional[MemorySystem] = None
+        self._originals: Dict[str, Callable] = {}
 
     def attach(self, mem: MemorySystem) -> "Timeline":
         """Instrument a memory system (before the simulation runs)."""
@@ -67,10 +76,12 @@ class Timeline:
         self._attached = mem
         for method_name, kind, extract in self._HOOKS:
             original = getattr(mem, method_name)
+            self._originals[method_name] = original
             wrapped = self._wrap(original, kind, extract)
             setattr(mem, method_name, wrapped)
         # Burst transitions live inside _update_burst; observe via state.
         original_update = mem._update_burst
+        self._originals["_update_burst"] = original_update
 
         def observed_update(now: int) -> None:
             before = mem.in_burst
@@ -80,6 +91,27 @@ class Timeline:
                              else "burst_end", {})
 
         mem._update_burst = observed_update
+        return self
+
+    def detach(self) -> "Timeline":
+        """Restore the wrapped methods, keeping the recorded events.
+
+        The instance attributes installed by :meth:`attach` are removed
+        so the class's original (unwrapped) methods show through again;
+        the timeline can then be attached to another memory system.
+        """
+        if self._attached is None:
+            raise RuntimeError("timeline is not attached")
+        for method_name, original in self._originals.items():
+            # attach() read bound methods off the instance, so restoring
+            # is deleting our instance-level override (falling back to
+            # the class attribute, which *is* `original` rebound).
+            try:
+                delattr(self._attached, method_name)
+            except AttributeError:
+                setattr(self._attached, method_name, original)
+        self._originals.clear()
+        self._attached = None
         return self
 
     def _wrap(self, original: Callable, kind: str,
@@ -98,6 +130,7 @@ class Timeline:
 
     def _record(self, time: int, kind: str, detail: Dict[str, object]) -> None:
         if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
             return
         self.events.append(TimelineEvent(time, kind, detail))
 

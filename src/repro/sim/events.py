@@ -3,10 +3,16 @@
 A single binary heap of ``(time, seq, callback)`` entries. The ``seq``
 tiebreaker makes same-cycle ordering deterministic (insertion order), so
 a simulation is exactly reproducible for a given trace and seed.
+
+Telemetry can register a *probe* (:meth:`SimEngine.set_probe`): a
+read-only callback invoked at most once per interval, always at an
+existing event timestamp. Probes never enter the heap, so attaching one
+cannot change event order or the simulation's final time.
 """
 
 from __future__ import annotations
 
+import math
 import heapq
 from typing import Callable, List, Optional, Tuple
 
@@ -24,6 +30,24 @@ class SimEngine:
         self.now = 0
         self.events_processed = 0
         self._max_events = max_events
+        self._probe: Optional[Callback] = None
+        self._probe_interval = 0
+        self._probe_next = math.inf
+
+    def set_probe(self, interval: int, probe: Optional[Callback]) -> None:
+        """Call ``probe(now)`` at most once per ``interval`` cycles,
+        piggybacked on event dispatch (before the first callback at or
+        past each boundary). ``probe=None`` removes it. The probe must
+        only *read* simulation state."""
+        if probe is None:
+            self._probe = None
+            self._probe_next = math.inf
+            return
+        if interval <= 0:
+            raise SimulationError(f"probe interval must be positive: {interval}")
+        self._probe = probe
+        self._probe_interval = interval
+        self._probe_next = self.now
 
     def schedule(self, when: int, callback: Callback) -> None:
         """Run ``callback(time)`` at absolute time ``when``."""
@@ -50,6 +74,9 @@ class SimEngine:
                 break
             heapq.heappop(self._heap)
             self.now = when
+            if when >= self._probe_next:
+                self._probe(when)
+                self._probe_next = when + self._probe_interval
             callback(when)
             self.events_processed += 1
             if self.events_processed > self._max_events:

@@ -119,6 +119,11 @@ class MemorySystem:
         self._kick_pending = False
         self._write_id = 0
 
+        #: Optional telemetry observer (:class:`repro.obs.Telemetry`).
+        #: Every emit site guards with ``is not None`` so the untraced
+        #: hot path pays a single attribute check.
+        self.obs = None
+
         # Simple busy-until resources.
         self._channel_free = 0
         self._channel_cycles = config.memory.line_transfer_cycles(
@@ -167,6 +172,8 @@ class MemorySystem:
             return False
         bank = self.dimm.bank_of(record.line_addr)
         self.wrq.append(WriteJob(core, record, bank, now))
+        if self.obs is not None:
+            self.obs.on_wrq_depth(len(self.wrq))
         self.kick(now)
         return True
 
@@ -213,10 +220,14 @@ class MemorySystem:
             self.in_burst = True
             self._burst_started = now
             self.stats.burst_entries += 1
+            if self.obs is not None:
+                self.obs.on_burst(True, now)
         elif self.in_burst and not self.wrq and not self.pending_rounds \
                 and not self.stalled:
             self.in_burst = False
             self.stats.burst_cycles += now - self._burst_started
+            if self.obs is not None:
+                self.obs.on_burst(False, now)
 
     def _refill_queues(self, now: int) -> None:
         while self.waiting_rdq and len(self.rdq) < self.rdq_cap:
@@ -295,6 +306,8 @@ class MemorySystem:
         write.state = WriteState.CANCELLED
         write.cancel_count += 1
         self.stats.write_cancellations += 1
+        if self.obs is not None:
+            self.obs.on_write_cancelled(write, now)
         self._write_ended(now)
         # Reset the round for a full retry and requeue at the front.
         fresh = self._make_round(
@@ -326,7 +339,7 @@ class MemorySystem:
 
     def _try_start_job(self, job: WriteJob, now: int) -> bool:
         if job.rounds is None:
-            self._plan_job(job)
+            self._plan_job(job, now)
         write = job.current
         if write is None:
             return True  # nothing to do (empty write)
@@ -338,7 +351,7 @@ class MemorySystem:
         self._begin_round(job, write, now)
         return True
 
-    def _plan_job(self, job: WriteJob) -> None:
+    def _plan_job(self, job: WriteJob, now: int) -> None:
         record = job.record
         job.offset = self.manager.line_offset(record.line_addr)
         changed_idx = record.changed_idx
@@ -362,6 +375,8 @@ class MemorySystem:
                 for k in range(rounds)
             ]
             self.stats.round_split_writes += 1
+            if self.obs is not None:
+                self.obs.on_round_split(job, rounds, now)
 
     def _preset_payload(self) -> "Tuple[np.ndarray, np.ndarray]":
         """PreSET [22] foreground payload: one RESET pulse over (nearly)
@@ -396,6 +411,8 @@ class MemorySystem:
         write.issue_time = now
         if write.mr_splits > 1:
             job.used_mr = True
+        if self.obs is not None:
+            self.obs.on_write_round_begin(write, now)
         self._write_started(now)
         if write.total_iterations == 0:
             # Nothing changed: a verify-only write (read + compare).
@@ -452,6 +469,8 @@ class MemorySystem:
             write.state = WriteState.STALLED
             write.current_iteration = i + 1
             setattr(write, "_stalled_at", now)
+            if self.obs is not None:
+                self.obs.on_write_stalled(write, now)
             self.stalled.append((job, write))
         self.kick(now)
 
@@ -466,6 +485,8 @@ class MemorySystem:
         write.current_iteration = i + 1
         write.pause_requested = False
         self.stats.write_pauses += 1
+        if self.obs is not None:
+            self.obs.on_write_paused(write, now)
         self._write_ended(now)
         self.paused.append((job, write))
         self.kick(now)
@@ -536,6 +557,8 @@ class MemorySystem:
         bank.finish_write(now, write)
         write.state = WriteState.DONE
         write.complete_time = now
+        if self.obs is not None:
+            self.obs.on_write_round_end(write, now)
         self.stats.write_rounds_done += 1
         self.stats.cells_written += write.n_changed
         if self.wear is not None and write.n_changed:
@@ -553,6 +576,8 @@ class MemorySystem:
     def _finish_job(self, job: WriteJob, now: int) -> None:
         self.stats.writes_done += 1
         self.stats.write_latency_sum += now - job.arrival
+        if self.obs is not None:
+            self.obs.on_write_done(job, now - job.arrival, now)
         if job.used_mr:
             self.stats.multi_reset_writes += 1
         gcp_peak = max(

@@ -54,8 +54,15 @@ def run_simulation(
     trace: Optional[Trace] = None,
     n_pcm_writes: int = 2400,
     max_refs_per_core: int = 400_000,
+    telemetry=None,
 ) -> SimResult:
-    """Simulate one workload under one power-budgeting scheme."""
+    """Simulate one workload under one power-budgeting scheme.
+
+    Pass a :class:`repro.obs.Telemetry` as ``telemetry`` to collect
+    metrics, time series and trace events from the run; attaching it
+    never changes simulation results (the sampler piggybacks on event
+    dispatch and every hook only reads state).
+    """
     spec: SchemeSpec = get_scheme(scheme)
     cfg = spec.apply_to_config(config)
     if trace is None:
@@ -64,7 +71,7 @@ def run_simulation(
             n_pcm_writes=n_pcm_writes,
             max_refs_per_core=max_refs_per_core,
         )
-    return _run(cfg, spec, trace)
+    return _run(cfg, spec, trace, telemetry=telemetry)
 
 
 def run_schemes(
@@ -93,12 +100,15 @@ def run_schemes(
     return results
 
 
-def _run(cfg: SystemConfig, spec: SchemeSpec, trace: Trace) -> SimResult:
+def _run(cfg: SystemConfig, spec: SchemeSpec, trace: Trace,
+         telemetry=None) -> SimResult:
     engine = SimEngine()
     stats = SimStats()
     dimm = DIMM(cfg)
     manager = spec.build_manager(cfg, dimm)
     mem = MemorySystem(cfg, dimm, manager, engine, stats)
+    if telemetry is not None:
+        telemetry.attach(cfg, spec.name, trace.workload, engine, mem, manager)
 
     cores: List[Core] = [
         Core(core_id, stream, engine, mem)
@@ -107,21 +117,28 @@ def _run(cfg: SystemConfig, spec: SchemeSpec, trace: Trace) -> SimResult:
     for core in cores:
         core.start()
 
-    end = engine.run()
-    if mem.work_outstanding:
-        raise SimulationError(
-            f"simulation of {trace.workload} under {spec.name} ended with "
-            f"work outstanding (rdq={len(mem.rdq)}, wrq={len(mem.wrq)}, "
-            f"stalled={len(mem.stalled)}, paused={len(mem.paused)}, "
-            f"inflight={mem._inflight_writes})"
-        )
-    unfinished = [c.core_id for c in cores if not c.finished]
-    if unfinished:
-        raise SimulationError(f"cores never finished: {unfinished}")
+    try:
+        end = engine.run()
+        if mem.work_outstanding:
+            raise SimulationError(
+                f"simulation of {trace.workload} under {spec.name} ended with "
+                f"work outstanding (rdq={len(mem.rdq)}, wrq={len(mem.wrq)}, "
+                f"stalled={len(mem.stalled)}, paused={len(mem.paused)}, "
+                f"inflight={mem._inflight_writes})"
+            )
+        unfinished = [c.core_id for c in cores if not c.finished]
+        if unfinished:
+            raise SimulationError(f"cores never finished: {unfinished}")
 
-    mem.finalize(end)
-    stats.core_instructions = [core.instructions for core in cores]
-    stats.core_finish_cycles = [core.finish_time or end for core in cores]
+        mem.finalize(end)
+        stats.core_instructions = [core.instructions for core in cores]
+        stats.core_finish_cycles = [core.finish_time or end for core in cores]
+    except Exception:
+        if telemetry is not None:
+            telemetry.discard_run()
+        raise
+    if telemetry is not None:
+        telemetry.finish_run(stats, end)
     return SimResult(
         scheme=spec.name,
         workload=trace.workload,

@@ -118,6 +118,42 @@ class SimStats:
             return 0.0
         return self.gcp_tokens_per_write_sum / self.writes_done
 
+    def snapshot(self) -> Dict[str, object]:
+        """Every raw counter plus every derived metric, as a plain dict
+        (the ``stats`` payload of a manifest ``sim_run`` record)."""
+        raw = {
+            "reads_done": self.reads_done,
+            "writes_done": self.writes_done,
+            "write_rounds_done": self.write_rounds_done,
+            "cells_written": self.cells_written,
+            "read_latency_sum": self.read_latency_sum,
+            "write_latency_sum": self.write_latency_sum,
+            "write_stall_cycles": self.write_stall_cycles,
+            "burst_cycles": self.burst_cycles,
+            "burst_entries": self.burst_entries,
+            "write_active_cycles": self.write_active_cycles,
+            "write_cancellations": self.write_cancellations,
+            "write_pauses": self.write_pauses,
+            "multi_reset_writes": self.multi_reset_writes,
+            "round_split_writes": self.round_split_writes,
+            "gcp_peak_output": self.gcp_peak_output,
+            "gcp_used_writes": self.gcp_used_writes,
+            "gcp_tokens_acquired": self.gcp_tokens_acquired,
+            "gcp_waste_tokens": self.gcp_waste_tokens,
+            "dimm_token_cycles": self.dimm_token_cycles,
+            "total_cycles": self.total_cycles,
+            "cores": len(self.core_instructions),
+        }
+        raw.update({
+            "cpi": self.cpi,
+            "burst_fraction": self.burst_fraction,
+            "write_throughput": self.write_throughput,
+            "mean_read_latency": self.mean_read_latency,
+            "mean_write_latency": self.mean_write_latency,
+            "mean_gcp_tokens_per_write": self.mean_gcp_tokens_per_write,
+        })
+        return raw
+
     def summary(self) -> Dict[str, float]:
         """The headline counters as a plain dict."""
         return {

@@ -1,0 +1,109 @@
+"""Metrics registry: counters, gauges, log-scale histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("writes")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(MetricsError):
+            Counter("writes").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(7)
+        g.add(-3)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_log_buckets(self):
+        h = Histogram("latency")
+        for v in (0.0, 0.5, 1.0, 2.0, 3.0, 1000.0):
+            h.observe(v)
+        # [0,1) -> bucket 0; 1 -> 1; 2..3 -> 2; 1000 -> 10.
+        assert h.buckets == {0: 2, 1: 1, 2: 2, 10: 1}
+        assert h.count == 6
+        assert h.min == 0.0 and h.max == 1000.0
+
+    def test_mean_is_exact(self):
+        h = Histogram("x")
+        for v in (10, 20, 30):
+            h.observe(v)
+        assert h.mean == 20.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            Histogram("x").observe(-1.0)
+
+    def test_quantile_bounds(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        # Bucket-resolution estimate: p50 of 1..100 lies in [32, 128].
+        assert 32 <= h.quantile(0.5) <= 128
+        with pytest.raises(MetricsError):
+            h.quantile(1.5)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("x").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("writes")
+        b = reg.counter("writes")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError):
+            reg.gauge("x")
+
+    def test_snapshot_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 5.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(4.0)
+        json.dumps(reg.snapshot())
+
+    def test_names_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "z" not in reg
+        reg.reset()
+        assert len(reg) == 0

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.core.policies",
     "repro.experiments",
+    "repro.obs",
     "repro.pcm",
     "repro.power",
     "repro.sim",

@@ -1,0 +1,105 @@
+"""Derived-metric guards on :class:`SimStats`.
+
+Every derived property must be well-defined on an empty run (the
+zero-division edges) and consistent with its raw counters, because
+manifests snapshot them unconditionally.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.sim.stats import SimStats
+
+
+class TestZeroRunEdges:
+    """A freshly constructed SimStats — nothing simulated yet."""
+
+    def test_cpi_of_empty_run_is_one(self):
+        assert SimStats().cpi == 1.0
+
+    def test_cpi_skips_cores_without_instructions(self):
+        stats = SimStats(
+            core_instructions=[100, 0],
+            core_finish_cycles=[250, 9999],
+        )
+        assert stats.cpi == 2.5
+
+    def test_burst_fraction_zero_cycles(self):
+        assert SimStats().burst_fraction == 0.0
+
+    def test_write_throughput_no_active_cycles(self):
+        stats = SimStats(writes_done=5)
+        assert stats.write_throughput == 0.0
+
+    def test_mean_read_latency_no_reads(self):
+        assert SimStats(read_latency_sum=123).mean_read_latency == 0.0
+
+    def test_mean_write_latency_no_writes(self):
+        assert SimStats(write_latency_sum=123).mean_write_latency == 0.0
+
+    def test_mean_gcp_tokens_no_writes(self):
+        stats = SimStats(gcp_tokens_per_write_sum=40.0)
+        assert stats.mean_gcp_tokens_per_write == 0.0
+
+
+class TestDerivedValues:
+    def test_burst_fraction(self):
+        stats = SimStats(burst_cycles=250, total_cycles=1000)
+        assert stats.burst_fraction == 0.25
+
+    def test_write_throughput_per_kilocycle(self):
+        stats = SimStats(writes_done=4, write_active_cycles=2000)
+        assert stats.write_throughput == 2.0
+
+    def test_mean_latencies(self):
+        stats = SimStats(reads_done=4, read_latency_sum=100,
+                         writes_done=2, write_latency_sum=900)
+        assert stats.mean_read_latency == 25.0
+        assert stats.mean_write_latency == 450.0
+
+    def test_mean_gcp_tokens_averages_over_all_writes(self):
+        stats = SimStats(writes_done=10, gcp_used_writes=2,
+                         gcp_tokens_per_write_sum=30.0)
+        assert stats.mean_gcp_tokens_per_write == 3.0
+
+
+class TestWriteEnergy:
+    def test_zero_frequency_guard(self):
+        stats = SimStats(dimm_token_cycles=1e9)
+        assert stats.write_energy_uj(80.0, 0.0) == 0.0
+        assert stats.write_energy_uj(80.0, -1.0) == 0.0
+
+    def test_zero_token_cycles(self):
+        assert SimStats().write_energy_uj(80.0, 4.0) == 0.0
+
+    def test_known_value(self):
+        # 1 token held for 4e9 cycles at 4 GHz = 1 token-second;
+        # at 80 uW per token that is 80 uJ.
+        stats = SimStats(dimm_token_cycles=4e9)
+        assert stats.write_energy_uj(80.0, 4.0) == pytest.approx(80.0)
+
+    def test_scales_linearly_in_power(self):
+        stats = SimStats(dimm_token_cycles=1e6)
+        assert stats.write_energy_uj(160.0, 2.0) == pytest.approx(
+            2 * stats.write_energy_uj(80.0, 2.0)
+        )
+
+
+class TestSnapshot:
+    def test_empty_snapshot_is_finite_and_json_safe(self):
+        snap = SimStats().snapshot()
+        json.dumps(snap)
+        for key, value in snap.items():
+            if isinstance(value, float):
+                assert math.isfinite(value), key
+
+    def test_snapshot_includes_raw_and_derived(self):
+        stats = SimStats(writes_done=3, total_cycles=100, burst_cycles=50)
+        snap = stats.snapshot()
+        assert snap["writes_done"] == 3
+        assert snap["burst_fraction"] == 0.5
+        for derived in ("cpi", "write_throughput", "mean_read_latency",
+                        "mean_write_latency", "mean_gcp_tokens_per_write"):
+            assert derived in snap

@@ -104,3 +104,70 @@ class TestTimeline:
         mem.finalize(end)
         assert stats.writes_done == with_t.writes_done
         assert stats.total_cycles == with_t.total_cycles
+
+
+class TestDetach:
+    def _fresh_mem(self, scheme="dimm+chip"):
+        config = make_tiny_config()
+        spec = get_scheme(scheme)
+        cfg = spec.apply_to_config(config)
+        engine = SimEngine()
+        stats = SimStats()
+        dimm = DIMM(cfg)
+        mem = MemorySystem(cfg, dimm, spec.build_manager(cfg, dimm),
+                           engine, stats)
+        return mem, engine, stats
+
+    def test_detach_restores_wrapped_methods(self):
+        mem, _, _ = self._fresh_mem()
+        originals = {
+            name: getattr(mem, name)
+            for name, _, _ in Timeline._HOOKS
+        }
+        timeline = Timeline().attach(mem)
+        for name in originals:
+            assert getattr(mem, name) is not originals[name]
+        timeline.detach()
+        for name, method in originals.items():
+            assert getattr(mem, name) == method
+        assert mem._update_burst == originals.get(
+            "_update_burst", mem._update_burst)
+        # No lingering instance-level overrides.
+        for name, _, _ in Timeline._HOOKS:
+            assert name not in vars(mem)
+        assert "_update_burst" not in vars(mem)
+
+    def test_detach_keeps_events_and_allows_reattach(self):
+        timeline, _ = run_with_timeline([[write_rec(0)], []])
+        n_events = len(timeline)
+        timeline.detach()
+        assert len(timeline) == n_events
+        mem, _, _ = self._fresh_mem()
+        timeline.attach(mem)  # reusable after detach
+        timeline.detach()
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timeline().detach()
+
+    def test_detached_system_records_nothing_further(self):
+        mem, engine, stats = self._fresh_mem()
+        timeline = Timeline().attach(mem)
+        timeline.detach()
+        cores = [Core(0, [write_rec(0)], engine, mem),
+                 Core(1, [], engine, mem)]
+        for core in cores:
+            core.start()
+        mem.finalize(engine.run())
+        assert stats.writes_done == 1
+        assert len(timeline) == 0
+
+
+class TestDroppedCounter:
+    def test_dropped_counts_past_capacity(self):
+        streams = [[write_rec(k * 256) for k in range(8)], []]
+        capped, _ = run_with_timeline(streams, capacity=5)
+        uncapped, _ = run_with_timeline(streams)
+        assert len(capped) == 5
+        assert capped.dropped == len(uncapped) - 5
+        assert uncapped.dropped == 0
