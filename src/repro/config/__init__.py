@@ -12,6 +12,7 @@ from .presets import (
     slc_config,
 )
 from .system import (
+    config_fingerprint,
     CacheConfig,
     CacheLevelConfig,
     CPUConfig,
@@ -39,6 +40,7 @@ __all__ = [
     "SystemConfig",
     "WriteLevelModel",
     "baseline_config",
+    "config_fingerprint",
     "named_presets",
     "rdopt_config",
     "slc_config",

@@ -9,11 +9,55 @@ and used as a cache key.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..errors import ConfigError
 from ..units import bytes_to_cells, ns_to_cycles, reset_set_ratio
+
+
+def canonical_value(value):
+    """Reduce a config value to a canonical, process-stable form.
+
+    Dataclasses become ``(field, value)`` tuples in declaration order (so
+    *every* field participates — new fields can never be forgotten the
+    way a hand-maintained cache key forgets them), floats are rendered
+    through ``%.17g`` (round-trip exact, identical across platforms),
+    and containers recurse. Anything exotic falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, canonical_value(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            sorted((str(k), canonical_value(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_value(v) for v in value)
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return format(value, ".17g")
+    return repr(value)
+
+
+def config_fingerprint(config) -> str:
+    """SHA-256 hex digest of a config dataclass's full field tree.
+
+    Two configs share a fingerprint iff every leaf field is equal; the
+    digest is stable across processes and interpreter restarts (no
+    ``hash()`` randomization, no ``id()``s), so it can key an on-disk
+    cache.
+    """
+    blob = repr(canonical_value(config))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -313,6 +357,11 @@ class SystemConfig:
     @property
     def cells_per_line(self) -> int:
         return self.memory.cells_per_line(self.pcm.bits_per_cell)
+
+    def fingerprint(self) -> str:
+        """Canonical digest over the *entire* config tree (every leaf
+        field of every nested dataclass) — see :func:`config_fingerprint`."""
+        return config_fingerprint(self)
 
     def with_line_size(self, line_size: int) -> "SystemConfig":
         """Derive a config with a different L3/PCM line size (Fig. 19)."""

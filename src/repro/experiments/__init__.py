@@ -7,12 +7,16 @@ from .base import (
     SCALES,
     Experiment,
     ExperimentResult,
+    RunRequest,
     RunScale,
     clear_sim_cache,
     sim,
+    speedup_plan,
     speedup_rows,
+    use_disk_cache,
 )
-from .registry import available_experiments, get_experiment
+from .engine import execute_plan
+from .registry import available_experiments, get_experiment, plan_runs
 from . import ablations  # noqa: F401  (registers the ablation experiments)
 from . import worked_examples  # noqa: F401  (registers figs 3/5/6/8)
 
@@ -22,11 +26,16 @@ __all__ = [
     "ExperimentResult",
     "FULL",
     "QUICK",
+    "RunRequest",
     "RunScale",
     "SCALES",
     "available_experiments",
     "clear_sim_cache",
+    "execute_plan",
     "get_experiment",
+    "plan_runs",
     "sim",
+    "speedup_plan",
     "speedup_rows",
+    "use_disk_cache",
 ]

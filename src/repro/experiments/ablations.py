@@ -24,7 +24,17 @@ from ..pcm.cells import changed_cells
 from ..pcm.flipnwrite import flip_savings_sample
 from ..rng import make_rng
 from ..trace.synthetic.data import LINE_KINDS, make_line_pair
-from .base import Experiment, ExperimentResult, RunScale, sim, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    sim,
+    speedup_plan,
+    speedup_rows,
+)
+
+MR_GROUPING_SCHEMES = ("ipm", "fpb", "fpb-mrchanged")
 
 
 class AblMRGrouping(Experiment):
@@ -35,8 +45,12 @@ class AblMRGrouping(Experiment):
         "position grouping is cheaper and is what the paper builds."
     )
 
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return speedup_plan(config, scale, MR_GROUPING_SCHEMES,
+                            baseline="dimm+chip")
+
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
-        schemes = ("ipm", "fpb", "fpb-mrchanged")
+        schemes = MR_GROUPING_SCHEMES
         rows = speedup_rows(config, scale, schemes, baseline="dimm+chip")
         return ExperimentResult(
             self.exp_id, self.title, ["workload", *schemes], rows,
@@ -54,11 +68,24 @@ class AblPreRead(Experiment):
         "the paper models this cost. This ablation bounds it."
     )
 
-    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
-        no_preread = replace(
+    @staticmethod
+    def _no_preread(config: SystemConfig) -> SystemConfig:
+        return replace(
             config,
             scheduler=replace(config.scheduler, model_pre_write_read=False),
         )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        no_preread = self._no_preread(config)
+        requests = []
+        for workload in scale.workloads:
+            requests.append(RunRequest(config, workload, "dimm+chip", scale))
+            requests.append(RunRequest(config, workload, "fpb", scale))
+            requests.append(RunRequest(no_preread, workload, "fpb", scale))
+        return tuple(requests)
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        no_preread = self._no_preread(config)
         rows: List[Dict[str, object]] = []
         ratios: List[float] = []
         for workload in scale.workloads:
@@ -132,11 +159,25 @@ class AblPreSET(Experiment):
         "power tokens' — a win without budgets, a loss with them."
     )
 
-    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
-        preset_cfg = replace(
+    @staticmethod
+    def _preset_config(config: SystemConfig) -> SystemConfig:
+        return replace(
             config,
             scheduler=replace(config.scheduler, preset_writes=True),
         )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        preset_cfg = self._preset_config(config)
+        requests = []
+        for workload in scale.workloads:
+            requests.append(RunRequest(config, workload, "dimm+chip", scale))
+            for cfg in (config, preset_cfg):
+                for scheme in ("ideal", "fpb"):
+                    requests.append(RunRequest(cfg, workload, scheme, scale))
+        return tuple(requests)
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        preset_cfg = self._preset_config(config)
         rows: List[Dict[str, object]] = []
         cols = ("ideal", "ideal+preset", "fpb", "fpb+preset")
         sums: Dict[str, List[float]] = {c: [] for c in cols}

@@ -7,9 +7,16 @@ Every table and figure of the paper's evaluation is an
 rows mirror the paper's series, plus the paper's reported values for
 side-by-side comparison (EXPERIMENTS.md).
 
-Simulation results are memoized per (config, workload, scheme, scale) so
-experiments that share runs (Figures 11-14 all reuse the GCP sweeps)
-don't repeat them within a process.
+Simulation results are cached by a canonical run fingerprint (the full
+``SystemConfig`` tree + scheme + workload + scale + simulator schema
+version — see :mod:`repro.sim.simcache`), first in memory and then,
+when a :class:`~repro.sim.simcache.SimCache` is installed via
+:func:`use_disk_cache`, in an on-disk content-addressed store.
+Experiments that share runs (Figures 11-14 all reuse the GCP sweeps)
+never repeat them — within a process, across processes, or across
+invocations. Experiments additionally *declare* their run set via
+:meth:`Experiment.plan` so the engine (:mod:`repro.experiments.engine`)
+can dedupe the union across figures and execute it on worker processes.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.metrics import gmean
@@ -25,6 +33,7 @@ from ..config.presets import baseline_config
 from ..config.system import SystemConfig
 from ..errors import ExperimentError
 from ..sim.runner import SimResult, run_simulation
+from ..sim.simcache import SimCache, run_fingerprint
 from ..trace.generator import generate_trace
 from ..trace.workloads import ALL_WORKLOADS, QUICK_WORKLOADS
 
@@ -44,6 +53,31 @@ DEFAULT = RunScale("default", 800, 150_000, ALL_WORKLOADS)
 FULL = RunScale("full", 2400, 400_000, ALL_WORKLOADS)
 
 SCALES = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation an experiment needs: the unit of planning,
+    deduplication, caching and parallel execution."""
+
+    config: SystemConfig
+    workload: str
+    scheme: str
+    scale: RunScale
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content address of this run (see :mod:`repro.sim.simcache`).
+
+        Only the simulation-relevant parts of the scale participate
+        (``n_pcm_writes`` / ``max_refs_per_core``) — the scale's *name*
+        and workload list don't change a single run's outcome.
+        """
+        return run_fingerprint(
+            self.config, self.workload, self.scheme,
+            n_pcm_writes=self.scale.n_pcm_writes,
+            max_refs_per_core=self.scale.max_refs_per_core,
+        )
 
 
 @dataclass
@@ -106,6 +140,19 @@ class Experiment(abc.ABC):
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         """Execute the experiment and return its rows."""
 
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        """The simulation runs :meth:`run` will request, declared up
+        front so the engine can dedupe the union across experiments and
+        execute it in parallel. ``run()`` then consumes warm cache hits.
+
+        The default declares nothing — such experiments still work, they
+        just compute their runs lazily (and serially) inside ``run()``.
+        A ``plan()`` may safely over- or under-declare: it is a prefetch
+        hint, never a source of results.
+        """
+        return ()
+
     def __call__(
         self,
         config: Optional[SystemConfig] = None,
@@ -120,13 +167,19 @@ class Experiment(abc.ABC):
 
 
 # ----------------------------------------------------------------------
-# Shared simulation helpers with memoization
+# Shared simulation helpers with fingerprint-keyed caching
 # ----------------------------------------------------------------------
-_SIM_CACHE: Dict[Tuple, SimResult] = {}
+#: In-memory run cache, keyed by the canonical run fingerprint.
+_SIM_CACHE: Dict[str, SimResult] = {}
+
+#: Optional on-disk cache behind the in-memory one (the CLI's
+#: --cache-dir plumbing; library users call :func:`use_disk_cache`).
+_DISK_CACHE: Optional[SimCache] = None
 
 #: Telemetry observing all fresh simulation runs of this process (the
-#: CLI's --trace/--metrics-out plumbing). Memo-cache hits contributed
-#: their telemetry when first run and are not re-instrumented.
+#: CLI's --trace/--metrics-out plumbing). Cache hits contributed their
+#: telemetry when first run and are not re-instrumented; telemetry stays
+#: attached per-process and never changes simulation results.
 _ACTIVE_TELEMETRY = None
 
 
@@ -141,41 +194,92 @@ def active_telemetry():
     return _ACTIVE_TELEMETRY
 
 
+def use_disk_cache(cache: Optional[SimCache]) -> None:
+    """Install (or with ``None`` remove) the process-wide on-disk run
+    cache consulted by :func:`sim` behind the in-memory cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = cache
+
+
+def active_disk_cache() -> Optional[SimCache]:
+    return _DISK_CACHE
+
+
 def clear_sim_cache() -> None:
+    """Drop the in-memory run cache (the disk cache is untouched)."""
     _SIM_CACHE.clear()
 
 
-def _sim_key(config: SystemConfig, workload: str, scheme: str,
-             scale: RunScale) -> Tuple:
-    return (
-        workload, scheme, scale.n_pcm_writes, scale.max_refs_per_core,
-        config.seed,
-        config.caches.l3.size_bytes, config.memory.line_size,
-        config.power.dimm_tokens, config.power.gcp_efficiency,
-        config.power.chip_budget_scale, config.cell_mapping,
-        config.scheduler.write_queue_entries,
-        config.scheduler.write_cancellation,
-        config.scheduler.write_pausing,
-        config.scheduler.write_truncation,
-        config.scheduler.model_pre_write_read,
-        config.scheduler.preset_writes,
+def record_cache_event(request: RunRequest, source: str,
+                       worker: Optional[int] = None,
+                       prefetch: bool = False) -> None:
+    """Report one run acquisition (memory/disk hit or fresh compute) to
+    the active telemetry's manifest, if any."""
+    if _ACTIVE_TELEMETRY is not None:
+        _ACTIVE_TELEMETRY.record_sim_request(
+            workload=request.workload, scheme=request.scheme,
+            fingerprint=request.fingerprint, source=source,
+            worker=worker, prefetch=prefetch,
+        )
+
+
+def execute_request(request: RunRequest, telemetry=None) -> SimResult:
+    """Run one simulation, bypassing every cache (the engine's worker
+    entry point). Determinism is per-run: all random streams derive from
+    ``request.config.seed``, so where/when a run executes cannot change
+    its result."""
+    return run_simulation(
+        request.config, request.workload, request.scheme,
+        n_pcm_writes=request.scale.n_pcm_writes,
+        max_refs_per_core=request.scale.max_refs_per_core,
+        telemetry=telemetry,
     )
+
+
+def fetch(request: RunRequest) -> SimResult:
+    """Resolve one run: in-memory cache, then disk cache, then compute
+    (populating both caches)."""
+    key = request.fingerprint
+    result = _SIM_CACHE.get(key)
+    if result is not None:
+        record_cache_event(request, "memory")
+        return result
+    if _DISK_CACHE is not None:
+        result = _DISK_CACHE.get(key)
+        if result is not None:
+            _SIM_CACHE[key] = result
+            record_cache_event(request, "disk")
+            return result
+    result = execute_request(request, telemetry=_ACTIVE_TELEMETRY)
+    _SIM_CACHE[key] = result
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.put(key, result)
+    record_cache_event(request, "computed")
+    return result
 
 
 def sim(config: SystemConfig, workload: str, scheme: str,
         scale: RunScale) -> SimResult:
-    """Memoized single simulation run."""
-    key = _sim_key(config, workload, scheme, scale)
-    result = _SIM_CACHE.get(key)
-    if result is None:
-        result = run_simulation(
-            config, workload, scheme,
-            n_pcm_writes=scale.n_pcm_writes,
-            max_refs_per_core=scale.max_refs_per_core,
-            telemetry=_ACTIVE_TELEMETRY,
-        )
-        _SIM_CACHE[key] = result
-    return result
+    """Cached single simulation run."""
+    return fetch(RunRequest(config, workload, scheme, scale))
+
+
+def speedup_plan(
+    config: SystemConfig,
+    scale: RunScale,
+    schemes: Sequence[str],
+    *,
+    baseline: str,
+    workloads: Optional[Sequence[str]] = None,
+) -> Tuple[RunRequest, ...]:
+    """The run set of :func:`speedup_rows` — the matching ``plan()``."""
+    workloads = tuple(workloads or scale.workloads)
+    requests: List[RunRequest] = []
+    for workload in workloads:
+        requests.append(RunRequest(config, workload, baseline, scale))
+        for scheme in schemes:
+            requests.append(RunRequest(config, workload, scheme, scale))
+    return tuple(requests)
 
 
 def speedup_rows(

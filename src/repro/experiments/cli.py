@@ -5,8 +5,13 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig16 --scale quick
     python -m repro.experiments run all --scale default --out results/
+    python -m repro.experiments run fig11 fig12 fig13 fig14 --jobs 4
     python -m repro.experiments run fig16 --scale quick \\
         --trace run.json --metrics-out run.jsonl
+
+Simulation runs are cached on disk under ``.simcache/`` (override with
+``--cache-dir``, disable with ``--no-cache``) and fanned out over
+``--jobs`` worker processes; results are bit-identical to serial runs.
 
 All harness output goes through :mod:`repro.obs.logging` (the ``repro``
 logger namespace): ``-q`` silences reports, ``-v`` adds per-run
@@ -17,6 +22,7 @@ redirect it with standard :mod:`logging` configuration.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -24,8 +30,10 @@ from typing import List, Optional
 
 from ..config.presets import baseline_config
 from ..obs.logging import get_logger, setup_logging
-from .base import DEFAULT, SCALES, RunScale, use_telemetry
-from .registry import available_experiments, get_experiment
+from ..sim.simcache import DEFAULT_CACHE_DIR, SimCache
+from .base import DEFAULT, SCALES, RunScale, use_disk_cache, use_telemetry
+from .engine import execute_plan
+from .registry import available_experiments, get_experiment, plan_runs
 
 log = get_logger("experiments")
 
@@ -37,6 +45,15 @@ def _positive_int(text: str) -> int:
             f"must be a positive cycle count, got {value}"
         )
     return value
+
+
+def _jobs(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value if value else (os.cpu_count() or 1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,12 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
                    parents=[verbosity])
     run = sub.add_parser("run", help="run one experiment (or 'all')",
                          parents=[verbosity])
-    run.add_argument("experiment", help="experiment id (fig2..fig23, tab1..tab3, all)")
+    run.add_argument(
+        "experiment", nargs="+",
+        help="experiment id(s) (fig2..fig23, tab1..tab3, all)",
+    )
     run.add_argument(
         "--scale", choices=sorted(SCALES), default=DEFAULT.name,
         help="simulation size (quick/default/full)",
     )
     run.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    run.add_argument(
+        "--jobs", type=_jobs, default=1, metavar="N",
+        help="worker processes for the planned simulation runs "
+             "(default 1 = serial; 0 = one per CPU)",
+    )
+    run.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help="on-disk run cache directory (default .simcache/)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk run cache (in-memory caching remains)",
+    )
     run.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="directory to also write <exp_id>.txt reports into",
@@ -148,11 +182,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     scale = SCALES[args.scale]
-    targets = (
-        list(available_experiments())
-        if args.experiment.lower() == "all"
-        else [args.experiment]
-    )
+    requested = [exp_id.lower() for exp_id in args.experiment]
+    if "all" in requested:
+        targets = list(available_experiments())
+    else:
+        # De-duplicate while preserving the order given on the CLI.
+        targets = list(dict.fromkeys(requested))
 
     telemetry = None
     if args.trace is not None or args.metrics_out is not None:
@@ -160,13 +195,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry = Telemetry(sample_interval=args.sample_interval)
         use_telemetry(telemetry)
 
+    cache = None
+    if not args.no_cache:
+        cache = SimCache(args.cache_dir)
+        use_disk_cache(cache)
+
     wall_start = time.time()
     try:
+        requests = plan_runs(targets, baseline_config(seed=args.seed), scale)
+        if requests and (args.jobs > 1 or cache is not None):
+            summary = execute_plan(requests, jobs=args.jobs)
+            log.info(
+                "plan: %d runs (%d unique) — %d in memory, %d from cache, "
+                "%d computed on %d worker(s)\n",
+                summary["planned"], summary["unique"], summary["memory"],
+                summary["disk"], summary["computed"], args.jobs,
+            )
         for exp_id in targets:
+            if telemetry is not None:
+                telemetry.current_experiment = exp_id
             log.info("%s\n", _run_one(exp_id, scale, args.seed, args.out,
                                       bars=args.bars, csv=args.csv))
     finally:
+        if telemetry is not None:
+            telemetry.current_experiment = None
         use_telemetry(None)
+        use_disk_cache(None)
 
     if telemetry is not None:
         if args.trace is not None:
@@ -182,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale=scale.name,
                 experiments=targets,
                 wall_time_s=time.time() - wall_start,
+                jobs=args.jobs,
+                cache=cache.snapshot() if cache is not None else None,
             )
             log.info("wrote run manifest: %s (%d runs)",
                      args.metrics_out, len(telemetry.runs))

@@ -1,0 +1,136 @@
+"""Parallel experiment execution engine.
+
+The engine takes the union of every experiment's declared run set
+(:meth:`Experiment.plan`), deduplicates it by canonical run fingerprint,
+strips out runs already satisfiable from the in-memory or on-disk cache,
+and fans the remainder across a :class:`~concurrent.futures.
+ProcessPoolExecutor`. Results land in the shared caches, so the
+experiments' ``run()`` methods — unchanged and strictly sequential —
+consume warm hits.
+
+Correctness guarantees:
+
+* **Bit-identical to serial.** Every run's random streams derive from
+  ``config.seed`` (``repro.rng``), so a worker process computes exactly
+  the bytes the main process would. Results cross the process boundary
+  by pickling, which round-trips ints and IEEE doubles exactly.
+* **Telemetry stays attached per-process.** The parent's
+  :class:`~repro.obs.Telemetry` never crosses into workers; runs
+  computed by workers are reported to the manifest as uninstrumented
+  ``sim_run`` records with worker provenance, plus per-request
+  ``cache_event`` records. Attaching (or not attaching) telemetry never
+  changes simulation results.
+* **Deterministic scheduling irrelevance.** Completion order only
+  affects cache-fill order, never values; experiments read results by
+  fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..obs.logging import get_logger
+from .base import (
+    RunRequest,
+    _SIM_CACHE,
+    active_disk_cache,
+    active_telemetry,
+    execute_request,
+    record_cache_event,
+)
+
+log = get_logger("experiments.engine")
+
+
+def dedupe_requests(requests: Iterable[RunRequest]) -> List[RunRequest]:
+    """Unique requests by fingerprint, first occurrence order."""
+    unique: Dict[str, RunRequest] = {}
+    for request in requests:
+        unique.setdefault(request.fingerprint, request)
+    return list(unique.values())
+
+
+def _worker_execute(request: RunRequest) -> Tuple[str, object, int]:
+    """Process-pool entry point: compute one run, uncached and
+    uninstrumented, tagged with the worker's PID for provenance."""
+    return request.fingerprint, execute_request(request), os.getpid()
+
+
+def execute_plan(
+    requests: Iterable[RunRequest],
+    jobs: int = 1,
+    *,
+    max_pending: Optional[int] = None,
+) -> Dict[str, int]:
+    """Warm the run caches for ``requests`` using ``jobs`` workers.
+
+    Returns a summary: how many requests were planned, how many were
+    unique, and how many were served from memory, loaded from disk, or
+    computed. With ``jobs <= 1`` nothing is prefetched (the serial lazy
+    path in :func:`repro.experiments.base.sim` is already optimal) —
+    only the dedupe/disk-probe bookkeeping runs.
+    """
+    planned = list(requests)
+    unique = dedupe_requests(planned)
+    summary = {
+        "planned": len(planned),
+        "unique": len(unique),
+        "memory": 0,
+        "disk": 0,
+        "computed": 0,
+    }
+    disk = active_disk_cache()
+    pending: List[RunRequest] = []
+    for request in unique:
+        key = request.fingerprint
+        if key in _SIM_CACHE:
+            summary["memory"] += 1
+            continue
+        if disk is not None:
+            result = disk.get(key)
+            if result is not None:
+                _SIM_CACHE[key] = result
+                record_cache_event(request, "disk", prefetch=True)
+                summary["disk"] += 1
+                continue
+        pending.append(request)
+
+    if jobs <= 1 or not pending:
+        return summary
+
+    telemetry = active_telemetry()
+    n_workers = min(jobs, len(pending))
+    # Bound the submission queue so a huge plan doesn't hold every
+    # pickled config in flight at once.
+    window = max_pending if max_pending is not None else 4 * n_workers
+    log.debug("prefetching %d runs on %d workers (%d memory hits, "
+              "%d disk hits)", len(pending), n_workers,
+              summary["memory"], summary["disk"])
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = {}
+        queue = iter(pending)
+        exhausted = False
+        while futures or not exhausted:
+            while not exhausted and len(futures) < window:
+                request = next(queue, None)
+                if request is None:
+                    exhausted = True
+                    break
+                futures[pool.submit(_worker_execute, request)] = request
+            if not futures:
+                break
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                request = futures.pop(future)
+                key, result, worker_pid = future.result()
+                _SIM_CACHE[key] = result
+                if disk is not None:
+                    disk.put(key, result)
+                record_cache_event(request, "computed", worker=worker_pid,
+                                   prefetch=True)
+                if telemetry is not None:
+                    telemetry.record_external_run(result, worker=worker_pid)
+                summary["computed"] += 1
+    return summary

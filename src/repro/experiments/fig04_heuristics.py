@@ -9,8 +9,17 @@ write queues (sche-24/48/96) barely help.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = (
     "ideal", "dimm-only", "dimm+chip", "pwl",
@@ -26,6 +35,10 @@ class Fig04Heuristics(Experiment):
         "DIMM+chip; 2xlocal ~ DIMM-only, 1.5xlocal still 20% below; "
         "sche-X has little effect (Figure 4)."
     )
+
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        return speedup_plan(config, scale, SCHEMES, baseline="ideal")
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(

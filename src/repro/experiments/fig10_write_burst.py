@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 
 class Fig10WriteBurst(Experiment):
@@ -20,6 +20,12 @@ class Fig10WriteBurst(Experiment):
         "Average 52.2% of execution cycles are spent in write bursts "
         "under the baseline (Figure 10)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config, workload, "dimm+chip", scale)
+            for workload in scale.workloads
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows: List[Dict[str, object]] = []

@@ -7,8 +7,17 @@ GCP-NE-0.5 almost nothing (+2.8%).
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = ("dimm-only", "gcp-ne-0.95", "gcp-ne-0.7", "gcp-ne-0.5")
 
@@ -20,6 +29,10 @@ class Fig11GCPEfficiency(Experiment):
         "GCP-NE-0.95 +36.3% over DIMM+chip (= DIMM-only); "
         "GCP-NE-0.7 +23.7%; GCP-NE-0.5 +2.8% (Figure 11)."
     )
+
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        return speedup_plan(config, scale, SCHEMES, baseline="dimm+chip")
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")

@@ -7,8 +7,17 @@ efficiency; BIM edges out VIM.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = (
     "gcp-ne-0.7", "gcp-vim-0.7", "gcp-vim-0.5", "gcp-bim-0.7", "gcp-bim-0.5",
@@ -22,6 +31,10 @@ class Fig12Mapping(Experiment):
         "VIM/BIM at E=0.7 within 2%/1.4% of DIMM-only; advanced mappings "
         "rescue E=0.5; BIM slightly better than VIM (Figure 12)."
     )
+
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        return speedup_plan(config, scale, SCHEMES, baseline="dimm+chip")
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")

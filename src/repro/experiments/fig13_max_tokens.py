@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 COMBOS = (
     ("ne", 0.7), ("ne", 0.5),
@@ -30,6 +30,13 @@ class Fig13MaxTokens(Experiment):
         "Max requested tokens: 66 (NE), 16 (VIM), 28 (BIM) — advanced "
         "mappings need a much smaller global pump (Figure 13)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config, workload, combo_scheme(mapping, eff), scale)
+            for workload in scale.workloads
+            for mapping, eff in COMBOS
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [

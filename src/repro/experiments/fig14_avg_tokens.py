@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from ..analysis.metrics import percent_change
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 from .fig13_max_tokens import COMBOS, combo_scheme
 
 
@@ -22,6 +22,13 @@ class Fig14AvgTokens(Experiment):
         "VIM and BIM reduce GCP token requests (energy waste) by 78.5% "
         "and 64.4% vs the naive mapping at 70% efficiency (Figure 14)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config, workload, combo_scheme(mapping, eff), scale)
+            for workload in scale.workloads
+            for mapping, eff in COMBOS
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [f"{m.upper()}-{e}" for m, e in COMBOS]

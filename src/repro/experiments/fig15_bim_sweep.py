@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 EFFICIENCIES = (0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
 WORKLOADS = ("ast_m", "mcf_m", "mix_1")
@@ -24,10 +24,23 @@ class Fig15BIMSweep(Experiment):
         "remains effective down to 20% (Figure 15)."
     )
 
-    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
-        workloads = [w for w in WORKLOADS if w in scale.workloads] or list(
+    @staticmethod
+    def _workloads(scale: RunScale):
+        return [w for w in WORKLOADS if w in scale.workloads] or list(
             scale.workloads[:2]
         )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config, workload, scheme, scale)
+            for workload in self._workloads(scale)
+            for scheme in (
+                "dimm+chip", *(f"gcp-bim-{eff}" for eff in EFFICIENCIES),
+            )
+        )
+
+    def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
+        workloads = self._workloads(scale)
         columns = ["efficiency", *workloads]
         rows: List[Dict[str, object]] = []
         for eff in EFFICIENCIES:

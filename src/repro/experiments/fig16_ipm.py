@@ -12,9 +12,20 @@ from typing import Dict, List
 
 from ..analysis.metrics import gmean
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    sim,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = ("gcp-bim-0.7", "ipm", "ipm+mr", "ideal")
+
+#: Extra GCP efficiencies for the paper's gm0.5/gm0.3 rows.
+EXTRA_EFFICIENCIES = (0.5, 0.3)
 
 
 class Fig16IPM(Experiment):
@@ -25,10 +36,21 @@ class Fig16IPM(Experiment):
         "over DIMM+chip, within 12.2% of Ideal (Figure 16)."
     )
 
+    def plan(self, config: SystemConfig, scale: RunScale):
+        requests = list(speedup_plan(config, scale, SCHEMES,
+                                     baseline="dimm+chip"))
+        for eff in EXTRA_EFFICIENCIES:
+            for workload in scale.workloads:
+                for scheme in (f"gcp-bim-{eff}", f"ipm-bim-{eff}",
+                               f"ipm+mr-bim-{eff}"):
+                    requests.append(
+                        RunRequest(config, workload, scheme, scale))
+        return tuple(requests)
+
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")
         # The paper's extra gmean bars at lower GCP efficiency.
-        for eff in (0.5, 0.3):
+        for eff in EXTRA_EFFICIENCIES:
             row: Dict[str, object] = {"workload": f"gm{eff}"}
             values: Dict[str, List[float]] = {s: [] for s in SCHEMES}
             for workload in scale.workloads:

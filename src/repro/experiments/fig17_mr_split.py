@@ -6,8 +6,17 @@ is best; 4 loses ~2% to the longer write latency.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = ("ipm+mr2", "ipm+mr3", "ipm+mr4")
 
@@ -19,6 +28,10 @@ class Fig17MRSplit(Experiment):
         "Best improvement at 3 RESET splits; 4 splits lose ~2% to the "
         "longer write latency (Figure 17)."
     )
+
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        return speedup_plan(config, scale, SCHEMES, baseline="dimm+chip")
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(config, scale, SCHEMES, baseline="dimm+chip")

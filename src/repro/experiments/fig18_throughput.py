@@ -7,8 +7,17 @@ to DIMM+chip. The paper: GCP alone gains ~58.8%, the full FPB stack
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, speedup_rows
+from .base import (
+    Experiment,
+    ExperimentResult,
+    RunRequest,
+    RunScale,
+    speedup_plan,
+    speedup_rows,
+)
 
 SCHEMES = ("gcp-bim-0.7", "ipm", "ipm+mr", "ideal")
 
@@ -20,6 +29,10 @@ class Fig18Throughput(Experiment):
         "GCP ~1.59x; GCP+IPM+MR ~3.4x; Ideal ~22% above full FPB "
         "(Figure 18)."
     )
+
+    def plan(self, config: SystemConfig,
+             scale: RunScale) -> Tuple[RunRequest, ...]:
+        return speedup_plan(config, scale, SCHEMES, baseline="dimm+chip")
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         rows = speedup_rows(

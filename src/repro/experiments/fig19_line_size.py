@@ -13,7 +13,7 @@ from typing import Dict, List
 from ..analysis.metrics import gmean
 from ..config.presets import LINE_SIZE_SWEEP
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 
 class Fig19LineSize(Experiment):
@@ -23,6 +23,14 @@ class Fig19LineSize(Experiment):
         "FPB gains 41.3% / 61.8% / 75.6% for 64B / 128B / 256B lines "
         "(Figure 19)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config.with_line_size(line), workload, scheme, scale)
+            for workload in scale.workloads
+            for line in LINE_SIZE_SWEEP
+            for scheme in ("dimm+chip", "fpb")
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [f"{line}B" for line in LINE_SIZE_SWEEP]

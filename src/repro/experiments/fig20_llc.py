@@ -12,7 +12,7 @@ from typing import Dict, List
 from ..analysis.metrics import gmean
 from ..config.presets import LLC_SWEEP_BYTES
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 
 def _label(size_bytes: int) -> str:
@@ -26,6 +26,14 @@ class Fig20LLC(Experiment):
         "FPB gains 39.9% / 62.1% / 75.6% for 8/16/32 MB LLCs; the gain "
         "drops to 23.4% at 128 MB (Figure 20)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config.with_llc_size(size), workload, scheme, scale)
+            for workload in scale.workloads
+            for size in LLC_SWEEP_BYTES
+            for scheme in ("dimm+chip", "fpb")
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [_label(s) for s in LLC_SWEEP_BYTES]

@@ -12,7 +12,7 @@ from typing import Dict, List
 from ..analysis.metrics import gmean
 from ..config.presets import WRITE_QUEUE_SWEEP
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 
 class Fig21WriteQueue(Experiment):
@@ -22,6 +22,15 @@ class Fig21WriteQueue(Experiment):
         "FPB gains 75.6% / 85.2% / 88.1% for 24/48/96 WRQ entries; "
         "saturates at 48 (Figure 21)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config.with_write_queue(entries), workload, scheme,
+                       scale)
+            for workload in scale.workloads
+            for entries in WRITE_QUEUE_SWEEP
+            for scheme in ("dimm+chip", "fpb")
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [str(n) for n in WRITE_QUEUE_SWEEP]

@@ -13,7 +13,7 @@ from typing import Dict, List
 from ..analysis.metrics import gmean
 from ..config.presets import POWER_TOKEN_SWEEP
 from ..config.system import SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 
 class Fig22Tokens(Experiment):
@@ -22,6 +22,15 @@ class Fig22Tokens(Experiment):
     paper_claim = (
         "FPB helps more when the power budget is tighter (Figure 22)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        return tuple(
+            RunRequest(config.with_dimm_tokens(tokens), workload, scheme,
+                       scale)
+            for workload in scale.workloads
+            for tokens in POWER_TOKEN_SWEEP
+            for scheme in ("dimm+chip", "fpb")
+        )
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload"] + [str(int(t)) for t in POWER_TOKEN_SWEEP]

@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from ..analysis.metrics import gmean
 from ..config.system import SchedulerConfig, SystemConfig
-from .base import Experiment, ExperimentResult, RunScale, sim
+from .base import Experiment, ExperimentResult, RunRequest, RunScale, sim
 
 VARIANTS = ("FPB", "FPB+WC", "FPB+WC+WP", "FPB+WC+WP+WT")
 
@@ -40,6 +40,15 @@ class Fig23RdOpt(Experiment):
         "FPB+WC+WP+WT reaches +175.8% over DIMM+chip — 57% over FPB "
         "alone; the designs are orthogonal (Figure 23)."
     )
+
+    def plan(self, config: SystemConfig, scale: RunScale):
+        requests = []
+        for workload in scale.workloads:
+            requests.append(RunRequest(config, workload, "dimm+chip", scale))
+            for variant in VARIANTS:
+                requests.append(RunRequest(
+                    variant_config(config, variant), workload, "fpb", scale))
+        return tuple(requests)
 
     def run(self, config: SystemConfig, scale: RunScale) -> ExperimentResult:
         columns = ["workload", *VARIANTS]

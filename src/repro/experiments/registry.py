@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type
+from typing import Dict, Iterable, List, Tuple, Type
 
+from ..config.system import SystemConfig
 from ..errors import ExperimentError
-from .base import Experiment
+from .base import Experiment, RunRequest, RunScale
 from .fig02_cell_changes import Fig02CellChanges
 from .fig04_heuristics import Fig04Heuristics
 from .fig10_write_burst import Fig10WriteBurst
@@ -61,3 +62,14 @@ def get_experiment(exp_id: str) -> Experiment:
 
 def available_experiments() -> Tuple[str, ...]:
     return tuple(_EXPERIMENTS)
+
+
+def plan_runs(exp_ids: Iterable[str], config: SystemConfig,
+              scale: RunScale) -> List[RunRequest]:
+    """The union of the named experiments' declared run sets, in
+    request order (duplicates included — the engine dedupes them by
+    fingerprint, which is how figs 11-14 end up sharing one GCP sweep)."""
+    requests: List[RunRequest] = []
+    for exp_id in exp_ids:
+        requests.extend(get_experiment(exp_id).plan(config, scale))
+    return requests

@@ -10,7 +10,16 @@ Every record carries a ``type`` tag; the two core types are:
 
 ``sim_run``
     One per simulation: scheme, workload, cycles, CPI, wall time, the
-    :class:`SimStats` snapshot and the metrics-registry snapshot.
+    :class:`SimStats` snapshot and the metrics-registry snapshot. Runs
+    computed by engine worker processes carry ``instrumented: false``
+    and the worker's PID.
+
+``cache_event``
+    One per run acquisition through the experiment-layer run cache:
+    workload, scheme, run fingerprint, ``source`` (``memory`` /
+    ``disk`` / ``computed``), the derived ``cache_hit`` flag, worker
+    provenance and the requesting experiment. A ``cache_summary``
+    record aggregates them per invocation.
 
 See docs/observability.md for the full schema.
 """
@@ -25,7 +34,9 @@ from typing import Dict, Iterable, List, Optional, Union
 
 #: Schema version stamped into every header record; bump on breaking
 #: changes so downstream consumers (plotters, dashboards) can dispatch.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: ``cache_event``/``cache_summary`` records, uninstrumented
+#: ``sim_run`` records from parallel workers.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def _jsonable(value):

@@ -58,6 +58,12 @@ class Telemetry:
         self.trace = TraceBuilder()
         #: Completed ``sim_run`` manifest records, in run order.
         self.runs: List[Dict[str, object]] = []
+        #: ``cache_event`` manifest records: one per run acquisition
+        #: through the experiment-layer cache (hit or compute).
+        self.sim_requests: List[Dict[str, object]] = []
+        #: Experiment id stamped into cache events (set by the CLI
+        #: around each experiment's run()).
+        self.current_experiment: Optional[str] = None
         self._run: Optional[_RunContext] = None
         self._next_pid = 0
         self._freq_ghz: Optional[float] = None
@@ -159,6 +165,43 @@ class Telemetry:
     def discard_run(self) -> None:
         """Drop the in-progress run context (aborted simulation)."""
         self._run = None
+
+    def record_external_run(self, result, worker: Optional[int] = None) -> None:
+        """Record a run computed outside this process's instrumentation
+        (an engine worker). Carries full stats and worker provenance but
+        no trace events or time series — telemetry stays attached
+        per-process."""
+        self.runs.append({
+            "type": "sim_run",
+            "pid": None,
+            "scheme": result.scheme,
+            "workload": result.workload,
+            "cycles": result.cycles,
+            "cpi": result.cpi,
+            "worker": worker,
+            "instrumented": False,
+            "stats": result.stats.snapshot(),
+        })
+
+    def record_sim_request(self, *, workload: str, scheme: str,
+                           fingerprint: str, source: str,
+                           worker: Optional[int] = None,
+                           prefetch: bool = False) -> None:
+        """Record one run acquisition through the experiment-layer run
+        cache. ``source`` is ``memory``, ``disk`` or ``computed``;
+        ``cache_hit`` is derived so manifest consumers can aggregate
+        without knowing the source vocabulary."""
+        self.sim_requests.append({
+            "type": "cache_event",
+            "workload": workload,
+            "scheme": scheme,
+            "fingerprint": fingerprint,
+            "source": source,
+            "cache_hit": source != "computed",
+            "worker": worker,
+            "prefetch": prefetch,
+            "experiment": self.current_experiment,
+        })
 
     def _require_run(self) -> _RunContext:
         if self._run is None:
@@ -296,6 +339,19 @@ class Telemetry:
             writer.append(run_header(config, seed=seed, scale=scale,
                                      **context))
         writer.extend(self.runs)
+        writer.extend(self.sim_requests)
+        if self.sim_requests:
+            hits = sum(1 for r in self.sim_requests if r["cache_hit"])
+            by_source: Dict[str, int] = {}
+            for r in self.sim_requests:
+                source = str(r["source"])
+                by_source[source] = by_source.get(source, 0) + 1
+            writer.append({
+                "type": "cache_summary",
+                "requests": len(self.sim_requests),
+                "hits": hits,
+                "by_source": by_source,
+            })
         writer.append({
             "type": "metrics_snapshot",
             "metrics": self.registry.snapshot(),

@@ -31,7 +31,7 @@ class SimResult:
     cycles: int
     cpi: float
     stats: SimStats
-    config: SystemConfig = field(repr=False, default=None)
+    config: SystemConfig = field(repr=False)
 
     def speedup_over(self, baseline: "SimResult") -> float:
         """The paper's Eq. 7: CPI_baseline / CPI_tech."""
@@ -42,7 +42,9 @@ class SimResult:
     def throughput_ratio(self, baseline: "SimResult") -> float:
         base = baseline.stats.write_throughput
         if base <= 0:
-            return 0.0
+            raise SimulationError(
+                f"non-positive write throughput in baseline {baseline.scheme}"
+            )
         return self.stats.write_throughput / base
 
 
@@ -132,7 +134,10 @@ def _run(cfg: SystemConfig, spec: SchemeSpec, trace: Trace,
 
         mem.finalize(end)
         stats.core_instructions = [core.instructions for core in cores]
-        stats.core_finish_cycles = [core.finish_time or end for core in cores]
+        stats.core_finish_cycles = [
+            end if core.finish_time is None else core.finish_time
+            for core in cores
+        ]
     except Exception:
         if telemetry is not None:
             telemetry.discard_run()

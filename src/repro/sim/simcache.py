@@ -1,0 +1,164 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A run is identified by a :func:`run_fingerprint` — a SHA-256 digest over
+the *canonical* form of everything that determines its outcome:
+
+* the full :class:`~repro.config.system.SystemConfig` dataclass tree
+  (every leaf field, via :func:`repro.config.system.config_fingerprint`,
+  so sweeps over fields a hand-written key would forget can never alias);
+* the scheme name and workload name;
+* the simulation size (``n_pcm_writes`` / ``max_refs_per_core``);
+* :data:`SIM_SCHEMA_VERSION`, bumped whenever the simulator's semantics
+  change so stale results from older code are never reused.
+
+:class:`SimCache` stores one pickled :class:`~repro.sim.runner.SimResult`
+per fingerprint under ``<root>/<aa>/<fingerprint>.pkl`` (two-level
+fan-out keeps directories small). Entries are self-verifying: the file
+starts with a SHA-256 digest of the payload, and the payload embeds the
+fingerprint and schema version. A truncated, corrupted, mis-keyed or
+stale-schema entry is detected on load, deleted, and reported as a miss
+— never deserialized blindly into an experiment.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent processes
+sharing one cache directory can race without ever exposing a partial
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from ..config.system import config_fingerprint
+
+#: Version of the simulator's result-producing code paths. Bump on any
+#: change that can alter a :class:`SimResult` for the same inputs; every
+#: cached fingerprint changes with it, invalidating the whole cache.
+SIM_SCHEMA_VERSION = 1
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".simcache"
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+def run_fingerprint(config, workload: str, scheme: str, *,
+                    n_pcm_writes: int, max_refs_per_core: int) -> str:
+    """The content address of one simulation run."""
+    blob = repr((
+        "repro.sim.run",
+        SIM_SCHEMA_VERSION,
+        config_fingerprint(config),
+        str(workload),
+        str(scheme),
+        int(n_pcm_writes),
+        int(max_refs_per_core),
+    ))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SimCache:
+    """Content-addressed pickle store for :class:`SimResult` objects."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        # Hit/miss accounting for manifests and logs.
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Load the result stored under ``key``, or ``None``.
+
+        Any integrity failure (truncation, bit-rot, key or schema
+        mismatch, unpicklable payload) deletes the entry and counts as a
+        miss — the caller recomputes and re-stores.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        result = self._decode(raw, key)
+        if result is None:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Atomically store ``result`` under ``key``."""
+        payload = pickle.dumps(
+            {"schema": SIM_SCHEMA_VERSION, "key": key, "result": result},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = hashlib.sha256(payload).digest() + payload
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    @staticmethod
+    def _decode(raw: bytes, key: str):
+        if len(raw) <= _DIGEST_BYTES:
+            return None
+        digest, payload = raw[:_DIGEST_BYTES], raw[_DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema") != SIM_SCHEMA_VERSION or record.get("key") != key:
+            return None
+        return record.get("result")
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for manifests/logging."""
+        return {
+            "root": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimCache({self.root}, hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores})"
+        )

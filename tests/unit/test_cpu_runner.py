@@ -133,6 +133,7 @@ class TestRunner:
         )
         broken = type(result)(
             scheme="x", workload="y", cycles=0, cpi=0.0, stats=result.stats,
+            config=config,
         )
         with pytest.raises(SimulationError):
             broken.speedup_over(result)

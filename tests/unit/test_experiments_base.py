@@ -86,6 +86,21 @@ class TestSimCache:
         b = sim(config.with_dimm_tokens(466), "tig_m", "fpb", MICRO)
         assert a is not b
 
+    def test_previously_unkeyed_field_not_shared(self):
+        """Regression: the old hand-written key omitted
+        ``power.lcp_efficiency`` (among others), so an efficiency sweep
+        silently reused the first run's result."""
+        from dataclasses import replace
+
+        clear_sim_cache()
+        config = make_tiny_config()
+        lowered = replace(
+            config, power=replace(config.power, lcp_efficiency=0.80),
+        )
+        a = sim(config, "tig_m", "fpb", MICRO)
+        b = sim(lowered, "tig_m", "fpb", MICRO)
+        assert a is not b
+
 
 class TestSpeedupRows:
     def test_shape_and_gmean(self):
@@ -121,10 +136,38 @@ class TestCLIParser:
         args = build_parser().parse_args(
             ["run", "fig4", "--scale", "quick", "--seed", "7", "--bars"]
         )
-        assert args.experiment == "fig4"
+        assert args.experiment == ["fig4"]
         assert args.scale == "quick"
         assert args.seed == 7
         assert args.bars
+
+    def test_run_many_experiments(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", "fig11", "fig12", "fig13", "fig14", "--jobs", "4"]
+        )
+        assert args.experiment == ["fig11", "fig12", "fig13", "fig14"]
+        assert args.jobs == 4
+
+    def test_cache_flags(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", "fig16", "--cache-dir", "/tmp/sc", "--no-cache"]
+        )
+        assert str(args.cache_dir) == "/tmp/sc"
+        assert args.no_cache
+        assert args.jobs == 1  # serial by default
+
+    def test_jobs_zero_means_cpu_count(self):
+        import os
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(["run", "fig16", "--jobs", "0"])
+        assert args.jobs == (os.cpu_count() or 1)
+
+    def test_negative_jobs_rejected(self):
+        from repro.experiments.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig16", "--jobs", "-2"])
 
     def test_list_command(self):
         from repro.experiments.cli import build_parser

@@ -1,0 +1,146 @@
+"""Canonical config/run fingerprints.
+
+The regression the fingerprint exists to prevent: the old hand-written
+``_sim_key`` tuple silently omitted config fields (``memory.n_chips``,
+``power.lcp_efficiency``, ``scheduler.truncation_max_cells``, ...), so
+sweeps over those reused a stale cached result. The fingerprint walks
+the dataclass tree generically — these tests prove that *every* leaf
+field of ``SystemConfig`` participates, so a new field can never be
+forgotten.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.config.system import config_fingerprint
+from repro.experiments.base import RunRequest, RunScale
+
+from ..conftest import make_tiny_config
+
+
+def leaf_paths(node, prefix=()):
+    """Yield ``(path, value)`` for every leaf field of a dataclass tree.
+
+    Path elements are field names, with integer indices for tuples of
+    nested dataclasses (the PCM level models).
+    """
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            yield from leaf_paths(value, prefix + (f.name,))
+        elif (isinstance(value, tuple) and value
+              and dataclasses.is_dataclass(value[0])):
+            for index, item in enumerate(value):
+                yield from leaf_paths(item, prefix + (f.name, index))
+        else:
+            yield prefix + (f.name,), value
+
+
+def mutated_value(value):
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.25
+    if isinstance(value, str):
+        return value + "?"
+    if value is None:
+        return 123.0
+    raise AssertionError(f"no mutation rule for {value!r}")
+
+
+def with_leaf(node, path, value):
+    """Rebuild a config with one leaf replaced, bypassing validation
+    (``copy.copy`` + ``object.__setattr__`` skips ``__post_init__``), so
+    even fields whose values are cross-constrained can be isolated."""
+    head = path[0]
+    if isinstance(head, int):
+        items = list(node)
+        items[head] = with_leaf(items[head], path[1:], value)
+        return tuple(items)
+    clone = copy.copy(node)
+    if len(path) == 1:
+        object.__setattr__(clone, head, value)
+    else:
+        object.__setattr__(
+            clone, head, with_leaf(getattr(node, head), path[1:], value))
+    return clone
+
+
+class TestEveryLeafParticipates:
+    def test_any_leaf_difference_changes_fingerprint(self):
+        config = baseline_config()
+        base = config_fingerprint(config)
+        seen = {base}
+        leaves = list(leaf_paths(config))
+        assert len(leaves) > 40  # the whole Table 1 tree, not a subset
+        for path, value in leaves:
+            changed = with_leaf(config, path, mutated_value(value))
+            digest = config_fingerprint(changed)
+            assert digest != base, f"leaf {'.'.join(map(str, path))} ignored"
+            assert digest not in seen, f"collision at {path}"
+            seen.add(digest)
+
+    @pytest.mark.parametrize("path", [
+        ("memory", "n_chips"),
+        ("memory", "n_banks"),
+        ("power", "lcp_efficiency"),
+        ("pcm", "bits_per_cell"),
+        ("scheduler", "truncation_max_cells"),
+        ("scheduler", "preset_reset_fraction"),
+        ("wear_leveling",),
+    ])
+    def test_fields_the_old_sim_key_missed(self, path):
+        """The exact fields ``_sim_key`` omitted (the stale-result bug)."""
+        config = baseline_config()
+        value = config
+        for part in path:
+            value = getattr(value, part)
+        changed = with_leaf(config, path, mutated_value(value))
+        assert config_fingerprint(changed) != config_fingerprint(config)
+
+
+class TestStability:
+    def test_equal_configs_share_a_fingerprint(self):
+        assert config_fingerprint(baseline_config()) == \
+            config_fingerprint(baseline_config())
+
+    def test_independent_constructions_agree(self):
+        assert config_fingerprint(make_tiny_config(seed=3)) == \
+            config_fingerprint(make_tiny_config(seed=3))
+
+    def test_seed_is_keyed(self):
+        assert config_fingerprint(make_tiny_config(seed=1)) != \
+            config_fingerprint(make_tiny_config(seed=2))
+
+
+class TestRunRequestFingerprint:
+    SCALE = RunScale("micro", 30, 8_000, ("tig_m",))
+
+    def make(self, **overrides):
+        fields = dict(config=make_tiny_config(), workload="tig_m",
+                      scheme="fpb", scale=self.SCALE)
+        fields.update(overrides)
+        return RunRequest(**fields)
+
+    def test_scheme_and_workload_keyed(self):
+        base = self.make()
+        assert self.make(scheme="ideal").fingerprint != base.fingerprint
+        assert self.make(workload="mix_1").fingerprint != base.fingerprint
+
+    def test_scale_numbers_keyed(self):
+        bigger = RunScale("micro", 60, 8_000, ("tig_m",))
+        assert self.make(scale=bigger).fingerprint != self.make().fingerprint
+
+    def test_scale_name_and_workload_list_are_not(self):
+        """Only the run-relevant scale parameters participate."""
+        renamed = RunScale("other-name", 30, 8_000, ("tig_m", "mix_1"))
+        assert self.make(scale=renamed).fingerprint == self.make().fingerprint
+
+    def test_matches_serial_and_repeated_computation(self):
+        a, b = self.make(), self.make()
+        assert a is not b and a.fingerprint == b.fingerprint
