@@ -42,10 +42,13 @@ from .errors import (
     ExperimentError,
     MappingError,
     ReproError,
+    RunFailedError,
     SchedulingError,
     SimulationError,
     TokenError,
     TraceError,
+    WatchdogError,
+    WorkerTimeoutError,
 )
 from .experiments import available_experiments, get_experiment
 from .obs import MetricsRegistry, Telemetry
@@ -69,6 +72,7 @@ __all__ = [
     "PowerManager",
     "QUICK_WORKLOADS",
     "ReproError",
+    "RunFailedError",
     "SchedulingError",
     "SchemeSpec",
     "SimResult",
@@ -77,6 +81,8 @@ __all__ = [
     "Telemetry",
     "TokenError",
     "TraceError",
+    "WatchdogError",
+    "WorkerTimeoutError",
     "WriteOperation",
     "WriteState",
     "available_experiments",

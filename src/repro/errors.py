@@ -38,5 +38,40 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class WatchdogError(SimulationError):
+    """A watchdog tripped: the simulation (or the worker executing it)
+    stopped making forward progress and was abandoned rather than left
+    to loop or hang forever.
+
+    The simulator's own forward-progress watchdog raises this type
+    directly; it is *deterministic* (it counts event dispatches, never
+    wall-clock), so a livelocked run fails identically on every retry.
+    """
+
+
+class WorkerTimeoutError(WatchdogError):
+    """The experiment engine abandoned a worker that produced no result
+    within its wall-clock budget. Unlike the simulator's deterministic
+    watchdog, a wall-clock timeout is environmental (load, I/O stalls,
+    an injected hang) and therefore classified as transient."""
+
+
 class ExperimentError(ReproError):
     """An experiment was configured or invoked incorrectly."""
+
+
+class RunFailedError(ExperimentError):
+    """A planned simulation run failed permanently (retries exhausted or
+    quarantined) and its result is unavailable to the experiment.
+
+    Raised by the experiment-layer cache instead of re-executing a run
+    the engine has already proven to fail, so a ``--keep-going``
+    invocation can mark the affected figure and move on.
+    """
+
+    def __init__(self, message: str, *, fingerprint: str = "",
+                 workload: str = "", scheme: str = ""):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.workload = workload
+        self.scheme = scheme

@@ -17,6 +17,7 @@ from .base import (
 )
 from .engine import execute_plan
 from .registry import available_experiments, get_experiment, plan_runs
+from .resilience import RetryPolicy, RunSupervisor, backoff_delay
 from . import ablations  # noqa: F401  (registers the ablation experiments)
 from . import worked_examples  # noqa: F401  (registers figs 3/5/6/8)
 
@@ -26,10 +27,13 @@ __all__ = [
     "ExperimentResult",
     "FULL",
     "QUICK",
+    "RetryPolicy",
     "RunRequest",
     "RunScale",
+    "RunSupervisor",
     "SCALES",
     "available_experiments",
+    "backoff_delay",
     "clear_sim_cache",
     "execute_plan",
     "get_experiment",

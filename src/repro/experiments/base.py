@@ -31,9 +31,10 @@ from ..analysis.metrics import gmean
 from ..analysis.report import render_table
 from ..config.presets import baseline_config
 from ..config.system import SystemConfig
-from ..errors import ExperimentError
+from ..errors import ExperimentError, RunFailedError
 from ..sim.runner import SimResult, run_simulation
 from ..sim.simcache import SimCache, run_fingerprint
+from ..testing.faults import maybe_inject
 from ..trace.generator import generate_trace
 from ..trace.workloads import ALL_WORKLOADS, QUICK_WORKLOADS
 
@@ -210,6 +211,39 @@ def clear_sim_cache() -> None:
     _SIM_CACHE.clear()
 
 
+#: Runs the engine has proven to fail permanently (retries exhausted or
+#: quarantined), fingerprint -> human-readable cause. :func:`fetch`
+#: raises :class:`RunFailedError` for these instead of re-executing a
+#: run that is known to crash, hang, or violate an invariant.
+_FAILED_RUNS: Dict[str, str] = {}
+
+
+def mark_run_failed(fingerprint: str, message: str) -> None:
+    """Register a permanently-failed run (engine supervision verdict)."""
+    _FAILED_RUNS[fingerprint] = message
+
+
+def clear_failed_runs(fingerprints: Optional[Iterable[str]] = None) -> None:
+    """Forget failed-run verdicts — all of them, or just the given
+    fingerprints (a re-planned run gets a fresh chance)."""
+    if fingerprints is None:
+        _FAILED_RUNS.clear()
+        return
+    for fingerprint in fingerprints:
+        _FAILED_RUNS.pop(fingerprint, None)
+
+
+def failed_runs() -> Dict[str, str]:
+    """A snapshot of the failed-run registry."""
+    return dict(_FAILED_RUNS)
+
+
+def request_key(request: "RunRequest") -> str:
+    """The fault-injection/matching key of a run — human-readable
+    prefix plus the full fingerprint."""
+    return f"{request.workload}/{request.scheme}/{request.fingerprint}"
+
+
 def record_cache_event(request: RunRequest, source: str,
                        worker: Optional[int] = None,
                        prefetch: bool = False) -> None:
@@ -238,18 +272,27 @@ def execute_request(request: RunRequest, telemetry=None) -> SimResult:
 
 def fetch(request: RunRequest) -> SimResult:
     """Resolve one run: in-memory cache, then disk cache, then compute
-    (populating both caches)."""
+    (populating both caches). A run the engine marked permanently
+    failed raises :class:`RunFailedError` instead of recomputing."""
     key = request.fingerprint
     result = _SIM_CACHE.get(key)
     if result is not None:
         record_cache_event(request, "memory")
         return result
+    if key in _FAILED_RUNS:
+        raise RunFailedError(
+            f"run {request.workload}/{request.scheme} failed during "
+            f"planned execution: {_FAILED_RUNS[key]}",
+            fingerprint=key, workload=request.workload,
+            scheme=request.scheme,
+        )
     if _DISK_CACHE is not None:
         result = _DISK_CACHE.get(key)
         if result is not None:
             _SIM_CACHE[key] = result
             record_cache_event(request, "disk")
             return result
+    maybe_inject("serial_run", key=request_key(request))
     result = execute_request(request, telemetry=_ACTIVE_TELEMETRY)
     _SIM_CACHE[key] = result
     if _DISK_CACHE is not None:

@@ -13,6 +13,15 @@ Simulation runs are cached on disk under ``.simcache/`` (override with
 ``--cache-dir``, disable with ``--no-cache``) and fanned out over
 ``--jobs`` worker processes; results are bit-identical to serial runs.
 
+Parallel runs are *supervised* (docs/robustness.md): failures are
+classified and retried (``--retries``), hung workers are abandoned
+after ``--timeout`` seconds, a crashed worker pool is rebuilt, and
+``--keep-going`` renders the unaffected experiments when some runs
+failed permanently. The exit code is honest: 0 only when everything
+ran (and, under ``--check``, matched the paper's claimed shapes);
+nonzero on failed or quarantined runs; 130 on Ctrl-C — after writing
+any requested manifest, so partial sweeps stay accounted for.
+
 All harness output goes through :mod:`repro.obs.logging` (the ``repro``
 logger namespace): ``-q`` silences reports, ``-v`` adds per-run
 diagnostics, and library users embedding the harness can filter or
@@ -26,16 +35,24 @@ import os
 import pathlib
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..config.presets import baseline_config
+from ..errors import RunFailedError
 from ..obs.logging import get_logger, setup_logging
 from ..sim.simcache import DEFAULT_CACHE_DIR, SimCache
 from .base import DEFAULT, SCALES, RunScale, use_disk_cache, use_telemetry
 from .engine import execute_plan
 from .registry import available_experiments, get_experiment, plan_runs
+from .resilience import RetryPolicy
 
 log = get_logger("experiments")
+
+#: Exit codes: 0 success, 1 failed runs / shape discrepancies under
+#: ``--check``, 130 interrupted (the conventional 128+SIGINT).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_INTERRUPTED = 130
 
 
 def _positive_int(text: str) -> int:
@@ -54,6 +71,22 @@ def _jobs(text: str) -> int:
             f"--jobs must be >= 0 (0 = one per CPU), got {value}"
         )
     return value if value else (os.cpu_count() or 1)
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,12 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="telemetry sampling interval in cycles (default 5000)",
     )
+    run.add_argument(
+        "--keep-going", action="store_true",
+        help="render the remaining experiments when a planned run "
+             "failed, marking the affected ones (exit stays nonzero)",
+    )
+    run.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero if any experiment's shape check reports "
+             "discrepancies against the paper's claims",
+    )
+    run.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget on worker processes; a run "
+             "exceeding it is abandoned and retried (default: none)",
+    )
+    run.add_argument(
+        "--retries", type=_non_negative_int, default=2, metavar="N",
+        help="retries per transiently-failing run (default 2; "
+             "deterministic failures get at most one confirmation "
+             "retry before quarantine)",
+    )
     return parser
 
 
 def _run_one(exp_id: str, scale: RunScale, seed: int,
              out_dir: Optional[pathlib.Path], bars: bool = False,
-             csv: bool = False) -> str:
+             csv: bool = False) -> Tuple[str, int]:
+    """Run one experiment; returns its report text and the number of
+    shape-check discrepancies (for ``--check``)."""
     from ..analysis.report import render_bars
     from .checks import check_result
 
@@ -169,7 +225,7 @@ def _run_one(exp_id: str, scale: RunScale, seed: int,
         (out_dir / f"{exp_id}.txt").write_text(text)
         if csv:
             (out_dir / f"{exp_id}.csv").write_text(result.to_csv())
-    return text
+    return text, len(issues)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -200,48 +256,94 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = SimCache(args.cache_dir)
         use_disk_cache(cache)
 
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         run_timeout_s=args.timeout)
+    exit_code = EXIT_OK
+    summary = None
     wall_start = time.time()
     try:
-        requests = plan_runs(targets, baseline_config(seed=args.seed), scale)
-        if requests and (args.jobs > 1 or cache is not None):
-            summary = execute_plan(requests, jobs=args.jobs)
-            log.info(
-                "plan: %d runs (%d unique) — %d in memory, %d from cache, "
-                "%d computed on %d worker(s)\n",
-                summary["planned"], summary["unique"], summary["memory"],
-                summary["disk"], summary["computed"], args.jobs,
-            )
-        for exp_id in targets:
-            if telemetry is not None:
-                telemetry.current_experiment = exp_id
-            log.info("%s\n", _run_one(exp_id, scale, args.seed, args.out,
-                                      bars=args.bars, csv=args.csv))
+        try:
+            requests = plan_runs(targets, baseline_config(seed=args.seed),
+                                 scale)
+            if requests and (args.jobs > 1 or cache is not None):
+                summary = execute_plan(requests, jobs=args.jobs,
+                                       policy=policy)
+                log.info(
+                    "plan: %d runs (%d unique) — %d in memory, %d from "
+                    "cache, %d computed on %d worker(s)\n",
+                    summary["planned"], summary["unique"],
+                    summary["memory"], summary["disk"],
+                    summary["computed"], args.jobs,
+                )
+                if summary["failed"] or summary["quarantined"]:
+                    exit_code = EXIT_FAILURE
+                    log.error(
+                        "plan: %d run(s) failed, %d quarantined "
+                        "(%d retried, %d pool respawn(s), %d timeout(s))",
+                        summary["failed"], summary["quarantined"],
+                        summary["retried"], summary["pool_respawns"],
+                        summary["timeouts"],
+                    )
+            for exp_id in targets:
+                if telemetry is not None:
+                    telemetry.current_experiment = exp_id
+                try:
+                    text, issues = _run_one(exp_id, scale, args.seed,
+                                            args.out, bars=args.bars,
+                                            csv=args.csv)
+                except RunFailedError as exc:
+                    exit_code = EXIT_FAILURE
+                    failed_text = f"{exp_id}: FAILED — {exc}\n"
+                    if args.out is not None:
+                        args.out.mkdir(parents=True, exist_ok=True)
+                        (args.out / f"{exp_id}.txt").write_text(failed_text)
+                    if args.keep_going:
+                        log.error("%s(continuing: --keep-going)\n",
+                                  failed_text)
+                        continue
+                    log.error("%s(pass --keep-going to render the "
+                              "remaining experiments)", failed_text)
+                    break
+                if issues and args.check:
+                    exit_code = EXIT_FAILURE
+                log.info("%s\n", text)
+        except KeyboardInterrupt:
+            # Graceful SIGINT: no traceback; completed results are
+            # already cached, and the manifest below still gets written.
+            exit_code = EXIT_INTERRUPTED
+            log.error("interrupted — shutting down (completed runs kept; "
+                      "manifest will be written if requested)")
     finally:
         if telemetry is not None:
             telemetry.current_experiment = None
         use_telemetry(None)
         use_disk_cache(None)
-
-    if telemetry is not None:
-        if args.trace is not None:
-            telemetry.write_trace(args.trace)
-            log.info("wrote Perfetto trace: %s (%d events, open at "
-                     "https://ui.perfetto.dev)", args.trace,
-                     len(telemetry.trace))
-        if args.metrics_out is not None:
-            telemetry.write_manifest(
-                args.metrics_out,
-                baseline_config(seed=args.seed),
-                seed=args.seed,
-                scale=scale.name,
-                experiments=targets,
-                wall_time_s=time.time() - wall_start,
-                jobs=args.jobs,
-                cache=cache.snapshot() if cache is not None else None,
-            )
-            log.info("wrote run manifest: %s (%d runs)",
-                     args.metrics_out, len(telemetry.runs))
-    return 0
+        if telemetry is not None:
+            if args.trace is not None:
+                telemetry.write_trace(args.trace)
+                log.info("wrote Perfetto trace: %s (%d events, open at "
+                         "https://ui.perfetto.dev)", args.trace,
+                         len(telemetry.trace))
+            if args.metrics_out is not None:
+                if summary is not None:
+                    telemetry.plan_summary = {
+                        k: v for k, v in summary.items() if k != "failures"
+                    }
+                telemetry.write_manifest(
+                    args.metrics_out,
+                    baseline_config(seed=args.seed),
+                    seed=args.seed,
+                    scale=scale.name,
+                    experiments=targets,
+                    wall_time_s=time.time() - wall_start,
+                    jobs=args.jobs,
+                    exit_code=exit_code,
+                    interrupted=exit_code == EXIT_INTERRUPTED,
+                    cache=cache.snapshot() if cache is not None else None,
+                )
+                log.info("wrote run manifest: %s (%d runs)",
+                         args.metrics_out, len(telemetry.runs))
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Parallel experiment execution engine.
+"""Parallel experiment execution engine with failure supervision.
 
 The engine takes the union of every experiment's declared run set
 (:meth:`Experiment.plan`), deduplicates it by canonical run fingerprint,
@@ -23,22 +23,76 @@ Correctness guarantees:
 * **Deterministic scheduling irrelevance.** Completion order only
   affects cache-fill order, never values; experiments read results by
   fingerprint.
+
+Resilience guarantees (policy in :mod:`repro.experiments.resilience`,
+proven by the chaos tests in ``tests/integration/test_fault_tolerance``):
+
+* **One run's failure never unwinds the plan.** A worker exception is
+  classified (transient vs deterministic), retried with exponential
+  backoff and fingerprint-derived deterministic jitter, and — if it
+  keeps failing — recorded as a terminal failure while the other runs
+  complete (*partial-result semantics*).
+* **A killed worker doesn't discard in-flight work.** On
+  ``BrokenProcessPool`` the pool is rebuilt (bounded by a respawn
+  budget) and every in-flight run is requeued; since the pool cannot
+  say *which* worker died, the requeued runs execute one-at-a-time in
+  the fresh pool until the culprit is identified in isolation.
+* **A hung worker is abandoned, not waited on.** With a per-run
+  wall-clock timeout (``RetryPolicy.run_timeout_s``) the engine
+  terminates the pool under a stuck run, requeues the innocent
+  in-flight runs without an attempt penalty, and charges the hung run
+  a :class:`~repro.errors.WorkerTimeoutError` failure.
+* **Runs that fail identically twice are quarantined** so a
+  deterministic bug costs at most two attempts, and the manifest
+  distinguishes "worth a rerun" from "needs triage".
+* **Ctrl-C drains cleanly.** ``KeyboardInterrupt`` tears the pool down,
+  keeps every completed result in the caches, marks the summary
+  interrupted, and re-raises for the CLI to persist the manifest and
+  exit nonzero.
+
+Terminal failures are published to :func:`repro.experiments.base.
+mark_run_failed`; experiments that later ask for such a run get a
+:class:`~repro.errors.RunFailedError` instead of a blind re-execution.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, List, Optional, Tuple
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..errors import WorkerTimeoutError
 from ..obs.logging import get_logger
+from ..testing.faults import maybe_inject
 from .base import (
     RunRequest,
     _SIM_CACHE,
     active_disk_cache,
     active_telemetry,
+    clear_failed_runs,
     execute_request,
+    mark_run_failed,
     record_cache_event,
+    request_key,
+)
+from .resilience import (
+    FAIL,
+    QUARANTINE,
+    RETRY,
+    RetryPolicy,
+    RunFailure,
+    RunSupervisor,
+    TRANSIENT,
 )
 
 log = get_logger("experiments.engine")
@@ -55,7 +109,354 @@ def dedupe_requests(requests: Iterable[RunRequest]) -> List[RunRequest]:
 def _worker_execute(request: RunRequest) -> Tuple[str, object, int]:
     """Process-pool entry point: compute one run, uncached and
     uninstrumented, tagged with the worker's PID for provenance."""
+    maybe_inject("worker_run", key=request_key(request))
     return request.fingerprint, execute_request(request), os.getpid()
+
+
+@dataclass
+class _Flight:
+    """One in-flight submission."""
+
+    request: RunRequest
+    attempt: int
+    deadline: Optional[float]  # monotonic seconds, None = no watchdog
+    isolated: bool = False     # running alone to identify a pool-killer
+
+
+class _PlanExecutor:
+    """Supervised execution of one deduplicated, cache-missing run set."""
+
+    def __init__(self, pending: List[RunRequest], jobs: int,
+                 window: int, policy: RetryPolicy, summary: Dict[str, object]):
+        self.policy = policy
+        self.supervisor = RunSupervisor(policy)
+        self.summary = summary
+        self.n_workers = min(jobs, len(pending))
+        self.window = window
+        #: Ready work: ``(request, attempt)`` in submission order.
+        self.work: Deque[Tuple[RunRequest, int]] = deque(
+            (request, 1) for request in pending)
+        #: Runs to execute one-at-a-time (pool-break culprits unknown).
+        self.suspects: Deque[Tuple[RunRequest, int]] = deque()
+        #: Backoff heap: ``(ready_at, seq, request, attempt, isolated)``.
+        self.delayed: List[Tuple[float, int, RunRequest, int, bool]] = []
+        self._delay_seq = 0
+        self.futures: Dict[Future, _Flight] = {}
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.respawns = 0
+        self.aborted = False
+        self.disk = active_disk_cache()
+        self.telemetry = active_telemetry()
+
+    # -- scheduling ----------------------------------------------------
+
+    def run(self) -> None:
+        self._ensure_pool()
+        try:
+            while not self.aborted and (self.futures or self.work
+                                        or self.delayed or self.suspects):
+                self._promote_delayed()
+                self._fill()
+                if not self.futures:
+                    if self.delayed:
+                        self._sleep_until_ready()
+                        continue
+                    if not (self.work or self.suspects):
+                        break
+                    # Work exists but nothing could be submitted: the
+                    # pool must have died without a respawn — abort.
+                    if self.pool is None:
+                        break
+                    continue
+                done, _ = wait(set(self.futures),
+                               timeout=self._wait_timeout(),
+                               return_when=FIRST_COMPLETED)
+                if done:
+                    self._collect(done)
+                self._check_deadlines()
+        except KeyboardInterrupt:
+            self.summary["interrupted"] = True
+            log.warning("interrupted: abandoning %d in-flight run(s), "
+                        "%d completed result(s) kept",
+                        len(self.futures), self.summary["computed"])
+            self._teardown_pool(terminate=True)
+            raise
+        finally:
+            self._teardown_pool()
+
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, _, request, attempt, isolated = heapq.heappop(self.delayed)
+            if isolated:
+                self.suspects.append((request, attempt))
+            else:
+                self.work.append((request, attempt))
+
+    def _fill(self) -> None:
+        if self.pool is None:
+            return
+        if self.suspects:
+            # Isolation mode: one submission at a time until the
+            # suspect queue (and anything it respawns) drains.
+            if not self.futures:
+                request, attempt = self.suspects.popleft()
+                self._submit(request, attempt, isolated=True)
+            return
+        while self.work and len(self.futures) < self.window:
+            request, attempt = self.work.popleft()
+            self._submit(request, attempt)
+
+    def _submit(self, request: RunRequest, attempt: int,
+                isolated: bool = False) -> None:
+        deadline = None
+        if self.policy.run_timeout_s is not None:
+            deadline = time.monotonic() + self.policy.run_timeout_s
+        future = self.pool.submit(_worker_execute, request)
+        self.futures[future] = _Flight(request, attempt, deadline, isolated)
+
+    def _defer(self, request: RunRequest, attempt: int, delay: float,
+               isolated: bool) -> None:
+        self._delay_seq += 1
+        heapq.heappush(self.delayed, (time.monotonic() + delay,
+                                      self._delay_seq, request, attempt,
+                                      isolated))
+
+    def _wait_timeout(self) -> Optional[float]:
+        candidates = [flight.deadline for flight in self.futures.values()
+                      if flight.deadline is not None]
+        if self.delayed:
+            candidates.append(self.delayed[0][0])
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - time.monotonic()) + 0.02
+
+    def _sleep_until_ready(self) -> None:
+        pause = self.delayed[0][0] - time.monotonic()
+        if pause > 0:
+            time.sleep(min(pause, 0.25))
+
+    # -- completion and failure handling -------------------------------
+
+    def _collect(self, done: Iterable[Future]) -> None:
+        broken: Optional[BaseException] = None
+        casualties: List[_Flight] = []
+        for future in done:
+            flight = self.futures.pop(future, None)
+            if flight is None:
+                continue
+            try:
+                _key, result, worker_pid = future.result()
+            except BrokenProcessPool as exc:
+                broken = broken or exc
+                casualties.append(flight)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # worker raised: pool is fine
+                self._handle_failure(flight, exc)
+            else:
+                self._deliver(flight, result, worker_pid)
+        if broken is not None:
+            self._pool_broken(casualties, broken)
+
+    def _deliver(self, flight: _Flight, result, worker_pid: int) -> None:
+        key = flight.request.fingerprint
+        _SIM_CACHE[key] = result
+        if self.disk is not None:
+            self.disk.put(key, result)
+        record_cache_event(flight.request, "computed", worker=worker_pid,
+                           prefetch=True)
+        if self.telemetry is not None:
+            self.telemetry.record_external_run(result, worker=worker_pid)
+        self.summary["computed"] += 1
+
+    def _handle_failure(self, flight: _Flight, exc: BaseException) -> None:
+        verdict, delay = self.supervisor.on_failure(flight.request, exc)
+        request = flight.request
+        if verdict == RETRY:
+            self.summary["retried"] += 1
+            attempt = flight.attempt + 1
+            log.warning("run %s/%s failed (%s: %s) — retry %d in %.2fs",
+                        request.workload, request.scheme,
+                        type(exc).__name__, exc, attempt - 1, delay)
+            if self.telemetry is not None:
+                self.telemetry.record_retry(
+                    fingerprint=request.fingerprint,
+                    workload=request.workload, scheme=request.scheme,
+                    attempt=attempt, delay_s=delay,
+                    error_type=type(exc).__name__,
+                )
+            self._defer(request, attempt, delay, flight.isolated)
+            return
+        self._record_terminal(self.supervisor.failures[-1])
+
+    def _record_terminal(self, failure: RunFailure) -> None:
+        if failure.verdict == QUARANTINE:
+            self.summary["quarantined"] += 1
+            log.error("run %s/%s QUARANTINED after %d identical "
+                      "failure(s): %s", failure.workload, failure.scheme,
+                      failure.attempts, failure.error)
+        else:
+            self.summary["failed"] += 1
+            log.error("run %s/%s failed permanently after %d attempt(s): "
+                      "%s: %s", failure.workload, failure.scheme,
+                      failure.attempts, failure.error_type, failure.error)
+        self.summary["failures"].append(failure.as_record())
+        mark_run_failed(failure.fingerprint,
+                        f"{failure.error_type}: {failure.error} "
+                        f"({failure.verdict} after {failure.attempts} "
+                        f"attempt(s))")
+        if self.telemetry is not None:
+            self.telemetry.record_run_failure(failure.as_record())
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self) -> None:
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(max_workers=self.n_workers)
+
+    def _teardown_pool(self, terminate: bool = False) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        # No public API kills pool workers; reaching into ``_processes``
+        # beats leaving a hung worker alive until interpreter exit. The
+        # dict must be captured *before* shutdown(), which drops the
+        # executor's reference to it even with ``wait=False``.
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=not terminate, cancel_futures=True)
+        if terminate:
+            for proc in procs:
+                self._terminate(proc)
+
+    @staticmethod
+    def _terminate(proc) -> None:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+    def _pool_broken(self, casualties: List[_Flight],
+                     exc: BaseException) -> None:
+        """The pool died under us. Requeue every in-flight run; if there
+        was exactly one, the culprit is proven and charged."""
+        victims: List[_Flight] = list(casualties)
+        for future, flight in list(self.futures.items()):
+            del self.futures[future]
+            if future.done() and future.exception() is None:
+                _key, result, worker_pid = future.result()
+                self._deliver(flight, result, worker_pid)
+            else:
+                victims.append(flight)
+        self._respawn(victims, exc, reason="broken_pool", isolate=True)
+
+    def _check_deadlines(self) -> None:
+        if self.policy.run_timeout_s is None or not self.futures:
+            return
+        now = time.monotonic()
+        expired: List[_Flight] = []
+        for future, flight in list(self.futures.items()):
+            if flight.deadline is None or now < flight.deadline:
+                continue
+            if future.done():
+                continue  # finished between wait() and here; next loop
+            del self.futures[future]
+            expired.append(flight)
+        if not expired:
+            return
+        # A worker is stuck mid-run. There is no portable way to kill a
+        # single pool worker, so the whole pool is abandoned: innocent
+        # in-flight runs requeue without an attempt charge, the hung
+        # run(s) are charged a WorkerTimeoutError.
+        self.summary["timeouts"] += len(expired)
+        innocents: List[_Flight] = []
+        for future, flight in list(self.futures.items()):
+            del self.futures[future]
+            if future.done() and future.exception() is None:
+                _key, result, worker_pid = future.result()
+                self._deliver(flight, result, worker_pid)
+            else:
+                innocents.append(flight)
+        self._teardown_pool(terminate=True)
+        for flight in expired:
+            self._handle_failure(flight, WorkerTimeoutError(
+                f"no result within the {self.policy.run_timeout_s:.1f}s "
+                f"wall-clock budget; worker abandoned"
+            ))
+        self._respawn(innocents, None, reason="watchdog_timeout",
+                      isolate=False)
+
+    def _respawn(self, victims: List[_Flight],
+                 exc: Optional[BaseException], reason: str,
+                 isolate: bool) -> None:
+        """Rebuild the pool within the respawn budget and requeue
+        ``victims``; past the budget, everything outstanding fails."""
+        self._teardown_pool(terminate=True)
+        self.respawns += 1
+        self.summary["pool_respawns"] += 1
+        if self.respawns > self.policy.max_pool_respawns:
+            log.error("pool respawn budget exhausted (%d); failing %d "
+                      "outstanding run(s)", self.policy.max_pool_respawns,
+                      len(victims) + len(self.work) + len(self.suspects)
+                      + len(self.delayed))
+            note = (f"pool respawn budget ({self.policy.max_pool_respawns}) "
+                    f"exhausted during {reason}")
+            for flight in victims:
+                self._force_fail(flight.request, flight.attempt + 1, note)
+            for request, attempt in list(self.work):
+                self._force_fail(request, attempt, note)
+            for request, attempt in list(self.suspects):
+                self._force_fail(request, attempt, note)
+            for _, _, request, attempt, _ in self.delayed:
+                self._force_fail(request, attempt, note)
+            self.work.clear()
+            self.suspects.clear()
+            self.delayed.clear()
+            self.aborted = True
+            return
+        if self.telemetry is not None:
+            self.telemetry.record_pool_respawn(
+                respawns=self.respawns, reason=reason,
+                requeued=len(victims),
+                error=str(exc) if exc is not None else None,
+            )
+        if exc is not None and len(victims) == 1:
+            # The broken pool held exactly one run — a proven culprit.
+            flight = victims[0]
+            flight.isolated = True
+            self._handle_failure(flight, exc)
+        elif isolate:
+            # Culprit unknown: rerun all victims one at a time so the
+            # next break identifies it. No attempt charge.
+            log.warning("pool respawn %d/%d (%s): requeuing %d in-flight "
+                        "run(s) for isolated execution", self.respawns,
+                        self.policy.max_pool_respawns, reason, len(victims))
+            for flight in victims:
+                self.suspects.append((flight.request, flight.attempt))
+        else:
+            # Bystanders of a hung-worker teardown: the hung run was
+            # already charged, so these rejoin the normal queue.
+            log.warning("pool respawn %d/%d (%s): requeuing %d innocent "
+                        "in-flight run(s)", self.respawns,
+                        self.policy.max_pool_respawns, reason, len(victims))
+            for flight in victims:
+                self.work.appendleft((flight.request, flight.attempt))
+        self._ensure_pool()
+
+    def _force_fail(self, request: RunRequest, attempts: int,
+                    note: str) -> None:
+        failure = RunFailure(
+            fingerprint=request.fingerprint,
+            workload=request.workload,
+            scheme=request.scheme,
+            error=note,
+            error_type="BrokenProcessPool",
+            failure_class=TRANSIENT,
+            attempts=attempts,
+            verdict=FAIL,
+        )
+        self.supervisor.failures.append(failure)
+        self._record_terminal(failure)
 
 
 def execute_plan(
@@ -63,24 +464,47 @@ def execute_plan(
     jobs: int = 1,
     *,
     max_pending: Optional[int] = None,
-) -> Dict[str, int]:
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     """Warm the run caches for ``requests`` using ``jobs`` workers.
 
-    Returns a summary: how many requests were planned, how many were
-    unique, and how many were served from memory, loaded from disk, or
-    computed. With ``jobs <= 1`` nothing is prefetched (the serial lazy
-    path in :func:`repro.experiments.base.sim` is already optimal) —
-    only the dedupe/disk-probe bookkeeping runs.
+    Returns a summary with partial-result semantics: counts of planned
+    and unique requests, cache hits (``memory`` / ``disk``), fresh
+    ``computed`` results, plus the supervision counters — ``failed``,
+    ``retried``, ``quarantined``, ``timeouts``, ``pool_respawns`` — and
+    a ``failures`` list (one record per terminal failure, mirroring the
+    manifest's ``run_failure`` records). Failed runs never unwind the
+    plan; they are recorded here, registered with
+    :func:`~repro.experiments.base.mark_run_failed`, and surface as
+    :class:`~repro.errors.RunFailedError` if an experiment needs them.
+
+    With ``jobs <= 1`` nothing is prefetched (the serial lazy path in
+    :func:`repro.experiments.base.sim` is already optimal) — only the
+    dedupe/disk-probe bookkeeping runs.
+
+    ``KeyboardInterrupt`` propagates after the pool is torn down and
+    ``summary["interrupted"]`` is set — every already-computed result
+    stays in the caches.
     """
     planned = list(requests)
     unique = dedupe_requests(planned)
-    summary = {
+    summary: Dict[str, object] = {
         "planned": len(planned),
         "unique": len(unique),
         "memory": 0,
         "disk": 0,
         "computed": 0,
+        "failed": 0,
+        "retried": 0,
+        "quarantined": 0,
+        "timeouts": 0,
+        "pool_respawns": 0,
+        "interrupted": False,
+        "failures": [],
     }
+    # A re-planned run gets a fresh chance even if a previous plan in
+    # this process gave up on it.
+    clear_failed_runs(request.fingerprint for request in unique)
     disk = active_disk_cache()
     pending: List[RunRequest] = []
     for request in unique:
@@ -100,7 +524,6 @@ def execute_plan(
     if jobs <= 1 or not pending:
         return summary
 
-    telemetry = active_telemetry()
     n_workers = min(jobs, len(pending))
     # Bound the submission queue so a huge plan doesn't hold every
     # pickled config in flight at once.
@@ -108,29 +531,7 @@ def execute_plan(
     log.debug("prefetching %d runs on %d workers (%d memory hits, "
               "%d disk hits)", len(pending), n_workers,
               summary["memory"], summary["disk"])
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = {}
-        queue = iter(pending)
-        exhausted = False
-        while futures or not exhausted:
-            while not exhausted and len(futures) < window:
-                request = next(queue, None)
-                if request is None:
-                    exhausted = True
-                    break
-                futures[pool.submit(_worker_execute, request)] = request
-            if not futures:
-                break
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                request = futures.pop(future)
-                key, result, worker_pid = future.result()
-                _SIM_CACHE[key] = result
-                if disk is not None:
-                    disk.put(key, result)
-                record_cache_event(request, "computed", worker=worker_pid,
-                                   prefetch=True)
-                if telemetry is not None:
-                    telemetry.record_external_run(result, worker=worker_pid)
-                summary["computed"] += 1
+    executor = _PlanExecutor(pending, jobs, window,
+                             policy or RetryPolicy(), summary)
+    executor.run()
     return summary

@@ -21,6 +21,13 @@ Every record carries a ``type`` tag; the two core types are:
     provenance and the requesting experiment. A ``cache_summary``
     record aggregates them per invocation.
 
+Failure supervision (v3) adds one record per supervision event:
+``retry`` (a failed attempt being retried, with its deterministic
+backoff delay), ``run_failure`` (a run failing permanently),
+``quarantine`` (a run failing identically twice and being benched),
+``pool_respawn`` (a broken or abandoned worker pool being rebuilt),
+and a ``plan_summary`` aggregating the engine's counters.
+
 See docs/observability.md for the full schema.
 """
 
@@ -36,7 +43,10 @@ from typing import Dict, Iterable, List, Optional, Union
 #: changes so downstream consumers (plotters, dashboards) can dispatch.
 #: v2: ``cache_event``/``cache_summary`` records, uninstrumented
 #: ``sim_run`` records from parallel workers.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: failure-supervision records — ``run_failure``, ``retry``,
+#: ``quarantine``, ``pool_respawn`` — plus the ``plan_summary``
+#: aggregate written by the CLI.
+MANIFEST_SCHEMA_VERSION = 3
 
 
 def _jsonable(value):

@@ -61,6 +61,12 @@ class Telemetry:
         #: ``cache_event`` manifest records: one per run acquisition
         #: through the experiment-layer cache (hit or compute).
         self.sim_requests: List[Dict[str, object]] = []
+        #: Failure-supervision records (``run_failure`` / ``retry`` /
+        #: ``quarantine`` / ``pool_respawn``), in event order.
+        self.resilience_events: List[Dict[str, object]] = []
+        #: The engine's ``execute_plan`` summary, written to the
+        #: manifest as a ``plan_summary`` record when set by the CLI.
+        self.plan_summary: Optional[Dict[str, object]] = None
         #: Experiment id stamped into cache events (set by the CLI
         #: around each experiment's run()).
         self.current_experiment: Optional[str] = None
@@ -203,6 +209,48 @@ class Telemetry:
             "experiment": self.current_experiment,
         })
 
+    def record_retry(self, *, fingerprint: str, workload: str, scheme: str,
+                     attempt: int, delay_s: float, error_type: str) -> None:
+        """Record one failed attempt being retried by the engine's
+        supervisor (manifest ``retry`` record); ``delay_s`` is the
+        deterministic fingerprint-jittered backoff."""
+        self.resilience_events.append({
+            "type": "retry",
+            "fingerprint": fingerprint,
+            "workload": workload,
+            "scheme": scheme,
+            "attempt": attempt,
+            "delay_s": delay_s,
+            "error_type": error_type,
+        })
+
+    def record_run_failure(self, failure: Dict[str, object]) -> None:
+        """Record a terminal run failure (manifest ``run_failure``
+        record; verdict ``quarantine`` additionally emits a
+        ``quarantine`` record so benched runs are grep-able)."""
+        self.resilience_events.append({"type": "run_failure", **failure})
+        if failure.get("verdict") == "quarantine":
+            self.resilience_events.append({
+                "type": "quarantine",
+                "fingerprint": failure.get("fingerprint"),
+                "workload": failure.get("workload"),
+                "scheme": failure.get("scheme"),
+                "error": failure.get("error"),
+            })
+
+    def record_pool_respawn(self, *, respawns: int, reason: str,
+                            requeued: int,
+                            error: Optional[str] = None) -> None:
+        """Record a worker-pool rebuild (manifest ``pool_respawn``
+        record)."""
+        self.resilience_events.append({
+            "type": "pool_respawn",
+            "respawns": respawns,
+            "reason": reason,
+            "requeued": requeued,
+            "error": error,
+        })
+
     def _require_run(self) -> _RunContext:
         if self._run is None:
             raise RuntimeError("telemetry is not attached to a run")
@@ -340,6 +388,9 @@ class Telemetry:
                                      **context))
         writer.extend(self.runs)
         writer.extend(self.sim_requests)
+        writer.extend(self.resilience_events)
+        if self.plan_summary is not None:
+            writer.append({"type": "plan_summary", **self.plan_summary})
         if self.sim_requests:
             hits = sum(1 for r in self.sim_requests if r["cache_hit"])
             by_source: Dict[str, int] = {}

@@ -8,6 +8,21 @@ Telemetry can register a *probe* (:meth:`SimEngine.set_probe`): a
 read-only callback invoked at most once per interval, always at an
 existing event timestamp. Probes never enter the heap, so attaching one
 cannot change event order or the simulation's final time.
+
+Two watchdogs guarantee the kernel terminates instead of spinning
+forever on a scheduling bug:
+
+* an overall **event budget** (``max_events``), catching runaway but
+  time-advancing schedules;
+* a **forward-progress watchdog** (``max_same_cycle_events``), catching
+  livelock — callbacks endlessly rescheduling each other at the current
+  cycle so simulated time never advances. Legitimate same-cycle fan-out
+  is bounded by cores × banks × queue depth, orders of magnitude below
+  the threshold, so the watchdog can only trip on a genuine bug. It
+  raises :class:`~repro.errors.WatchdogError` (a
+  :class:`~repro.errors.SimulationError`) deterministically — it counts
+  dispatches, never wall-clock — so a failing run fails identically on
+  every retry and is quarantined rather than re-tried forever.
 """
 
 from __future__ import annotations
@@ -16,7 +31,7 @@ import math
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogError
 
 Callback = Callable[[int], None]
 
@@ -24,12 +39,16 @@ Callback = Callable[[int], None]
 class SimEngine:
     """Time-ordered callback dispatcher."""
 
-    def __init__(self, max_events: int = 200_000_000):
+    def __init__(self, max_events: int = 200_000_000,
+                 max_same_cycle_events: int = 1_000_000):
         self._heap: List[Tuple[int, int, Callback]] = []
         self._seq = 0
         self.now = 0
         self.events_processed = 0
         self._max_events = max_events
+        self._max_same_cycle = max_same_cycle_events
+        self._same_cycle_events = 0
+        self._last_dispatch = -1
         self._probe: Optional[Callback] = None
         self._probe_interval = 0
         self._probe_next = math.inf
@@ -79,6 +98,17 @@ class SimEngine:
                 self._probe_next = when + self._probe_interval
             callback(when)
             self.events_processed += 1
+            if when == self._last_dispatch:
+                self._same_cycle_events += 1
+                if self._same_cycle_events > self._max_same_cycle:
+                    raise WatchdogError(
+                        f"no forward progress: {self._same_cycle_events} "
+                        f"events dispatched at cycle {when} without time "
+                        "advancing — scheduling livelock"
+                    )
+            else:
+                self._last_dispatch = when
+                self._same_cycle_events = 0
             if self.events_processed > self._max_events:
                 raise SimulationError(
                     f"event budget exceeded ({self._max_events}); "

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..config.system import SystemConfig
 from ..core.policies.registry import SchemeSpec, get_scheme
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogError
 from ..pcm.dimm import DIMM
 from ..trace.generator import generate_trace
 from ..trace.records import Trace
@@ -120,7 +120,14 @@ def _run(cfg: SystemConfig, spec: SchemeSpec, trace: Trace,
         core.start()
 
     try:
-        end = engine.run()
+        try:
+            end = engine.run()
+        except WatchdogError as exc:
+            # Re-raise with run identity so a supervised parallel sweep
+            # can report *which* run livelocked, not just that one did.
+            raise WatchdogError(
+                f"{trace.workload}/{spec.name}: {exc}"
+            ) from exc
         if mem.work_outstanding:
             raise SimulationError(
                 f"simulation of {trace.workload} under {spec.name} ended with "

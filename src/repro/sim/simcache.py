@@ -22,6 +22,12 @@ stale-schema entry is detected on load, deleted, and reported as a miss
 Writes are atomic (temp file + ``os.replace``), so concurrent processes
 sharing one cache directory can race without ever exposing a partial
 entry.
+
+Stores are *best-effort*: the cache is an accelerator, not a
+correctness dependency, so a failing disk (full, read-only, vanished)
+must never abort an experiment. :meth:`SimCache.put` catches
+``OSError``, logs a warning, bumps :attr:`SimCache.store_errors`, and
+lets the caller keep computing.
 """
 
 from __future__ import annotations
@@ -34,6 +40,10 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..config.system import config_fingerprint
+from ..obs.logging import get_logger
+from ..testing.faults import corrupt_payload, maybe_inject
+
+log = get_logger("sim.simcache")
 
 #: Version of the simulator's result-producing code paths. Bump on any
 #: change that can alter a :class:`SimResult` for the same inputs; every
@@ -71,6 +81,7 @@ class SimCache:
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        self.store_errors = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -100,27 +111,50 @@ class SimCache:
         self.hits += 1
         return result
 
-    def put(self, key: str, result) -> None:
-        """Atomically store ``result`` under ``key``."""
+    def put(self, key: str, result) -> bool:
+        """Atomically store ``result`` under ``key``, best-effort.
+
+        Returns ``True`` on success. An ``OSError`` (disk full,
+        read-only or deleted cache directory, quota) is *not* raised:
+        the simulation result is already computed and the cache is only
+        an accelerator, so the failure is logged, counted in
+        :attr:`store_errors`, and the experiment keeps going.
+        """
         payload = pickle.dumps(
             {"schema": SIM_SCHEMA_VERSION, "key": key, "result": result},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         blob = hashlib.sha256(payload).digest() + payload
+        blob = corrupt_payload("cache_corrupt", key, blob)
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = None
         try:
+            maybe_inject("cache_put", key=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp, path)
+        except OSError as exc:
+            self.store_errors += 1
+            log.warning("cache store failed for %s… (%s: %s) — result "
+                        "kept in memory, continuing", key[:12],
+                        type(exc).__name__, exc)
+            self._unlink_tmp(tmp)
+            return False
         except BaseException:
+            self._unlink_tmp(tmp)
+            raise
+        self.stores += 1
+        return True
+
+    @staticmethod
+    def _unlink_tmp(tmp: Optional[str]) -> None:
+        if tmp is not None:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
-        self.stores += 1
 
     @staticmethod
     def _decode(raw: bytes, key: str):
@@ -140,7 +174,25 @@ class SimCache:
         return record.get("result")
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+        """True only if an entry with a *valid digest* exists for ``key``.
+
+        The payload digest is verified (without unpickling), so
+        ``key in cache`` and ``cache.get(key) is not None`` agree for
+        truncated, bit-rotten or garbage files. The residual gap is
+        deliberate: a well-checksummed entry written by an older schema
+        (or copied under the wrong key) still reports True here but
+        loads as a miss — full agreement would require unpickling on
+        every membership test. Unlike :meth:`get`, a corrupt entry is
+        left in place and no counters move — membership is a read-only
+        question.
+        """
+        try:
+            raw = self.path_for(key).read_bytes()
+        except OSError:
+            return False
+        if len(raw) <= _DIGEST_BYTES:
+            return False
+        return hashlib.sha256(raw[_DIGEST_BYTES:]).digest() == raw[:_DIGEST_BYTES]
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -155,6 +207,7 @@ class SimCache:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "stores": self.stores,
+            "store_errors": self.store_errors,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,15 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the chaos tests (and the CI chaos job) to prove every
+recovery path of the experiment engine.
+"""
+
+from .faults import FaultSpec, clear_faults, install_faults, maybe_inject
+
+__all__ = [
+    "FaultSpec",
+    "clear_faults",
+    "install_faults",
+    "maybe_inject",
+]

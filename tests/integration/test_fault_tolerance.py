@@ -1,0 +1,400 @@
+"""Chaos tests: the engine's resilience claims under injected faults.
+
+Each test drives a real ``ProcessPoolExecutor`` through a deterministic
+fault plan (:mod:`repro.testing.faults`): a worker hard-crashing (the
+pool breaks), a worker hanging past the wall-clock budget, cache bytes
+corrupted at store time, and the cache directory failing every write.
+The common bar — the acceptance criterion of the robustness work — is
+*partial-result semantics*: the unaffected runs complete with results
+identical to a serial execution, the failure is recorded (summary,
+failed-run registry, manifest), and nothing hangs or unwinds the plan.
+
+Faults reach worker processes through the ``REPRO_FAULTS`` environment
+variable (inherited at fork) and the parent process through
+``install_faults``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.errors import RunFailedError
+from repro.experiments.base import (
+    RunRequest,
+    RunScale,
+    _SIM_CACHE,
+    clear_failed_runs,
+    clear_sim_cache,
+    failed_runs,
+    mark_run_failed,
+    sim,
+    use_disk_cache,
+)
+from repro.experiments.engine import dedupe_requests, execute_plan
+from repro.experiments.fig17_mr_split import Fig17MRSplit
+from repro.experiments.resilience import RetryPolicy
+from repro.sim.simcache import SimCache
+from repro.testing.faults import (
+    ENV_VAR,
+    FaultSpec,
+    clear_faults,
+    install_faults,
+)
+
+from ..conftest import make_tiny_config
+
+MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+    yield
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+
+
+def micro_plan(config):
+    """Fig. 17's deduplicated run set: 3 Multi-RESET splits + baseline."""
+    return dedupe_requests(Fig17MRSplit().plan(config, MICRO))
+
+
+def serial_truth(config, requests):
+    """Ground truth per fingerprint, computed serially and uncached."""
+    clear_sim_cache()
+    use_disk_cache(None)
+    truth = {}
+    for request in requests:
+        result = sim(config, request.workload, request.scheme, MICRO)
+        truth[request.fingerprint] = (
+            result.cycles, result.cpi, result.stats.snapshot(),
+        )
+    clear_sim_cache()
+    return truth
+
+
+class TestWorkerCrash:
+    def test_crash_is_isolated_and_the_plan_completes(self, tmp_path,
+                                                      monkeypatch):
+        """One of four runs hard-kills its worker on every attempt. The
+        pool break cannot name the culprit, so the engine respawns and
+        isolates; the three innocents finish bit-identical to serial,
+        the culprit fails terminally after its retry budget."""
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        assert len(requests) == 4
+        target = requests[1]
+        survivors = [r for r in requests if r is not target]
+        truth = serial_truth(config, survivors)
+
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "worker_run", "mode": "crash",
+            "match": target.fingerprint,
+        }]))
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.01,
+                             backoff_cap_s=0.05, max_pool_respawns=8)
+        summary = execute_plan(requests, jobs=2, policy=policy)
+
+        assert summary["computed"] == 3
+        assert summary["failed"] == 1
+        assert summary["quarantined"] == 0
+        assert summary["retried"] == 1          # one charged retry
+        assert summary["pool_respawns"] >= 2    # the break + isolated rerun
+        [failure] = summary["failures"]
+        assert failure["fingerprint"] == target.fingerprint
+        assert failure["error_type"] == "BrokenProcessPool"
+        assert failure["failure_class"] == "transient"
+        assert failure["verdict"] == "fail"
+        assert failure["attempts"] == 2
+        assert target.fingerprint in failed_runs()
+
+        # Partial results are exact, not merely close.
+        for fingerprint, (cycles, cpi, snapshot) in truth.items():
+            got = _SIM_CACHE[fingerprint]
+            assert got.cycles == cycles
+            assert got.cpi == cpi
+            assert got.stats.snapshot() == snapshot
+
+        # The experiment reports the proven-failed run instead of
+        # blindly re-executing (and re-crashing on) it.
+        with pytest.raises(RunFailedError, match="BrokenProcessPool"):
+            Fig17MRSplit().run(config, MICRO)
+
+    def test_replanning_gives_the_run_a_fresh_chance(self, tmp_path,
+                                                     monkeypatch):
+        """After the faulty environment clears, re-planning the same
+        runs must succeed — terminal failures are per-plan, not forever."""
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        target = requests[0]
+        stamp = tmp_path / "crash.stamp"
+        # A cross-process one-shot: exactly one worker, once, ever.
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "worker_run", "mode": "crash",
+            "match": target.fingerprint, "stamp": str(stamp),
+        }]))
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                             backoff_cap_s=0.05)
+        summary = execute_plan(requests, jobs=2, policy=policy)
+        # The single crash was absorbed: retried (or isolated) to success.
+        assert summary["failed"] == summary["quarantined"] == 0
+        assert summary["computed"] == 4
+        assert stamp.exists()
+        assert failed_runs() == {}
+
+
+class TestRespawnBudget:
+    def test_budget_exhaustion_fails_outstanding_not_hangs(self, tmp_path,
+                                                           monkeypatch):
+        """Every run crashes its worker; with a respawn budget of 1 the
+        engine must give up promptly — failing everything outstanding —
+        rather than thrash pools or spin forever."""
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "worker_run", "mode": "crash",
+        }]))
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                             max_pool_respawns=1)
+        summary = execute_plan(requests, jobs=2, policy=policy)
+        assert summary["computed"] == 0
+        assert summary["failed"] == len(requests)
+        assert summary["pool_respawns"] == 2  # the allowed one + the fatal one
+        assert len(summary["failures"]) == len(requests)
+        for request in requests:
+            assert request.fingerprint in failed_runs()
+
+
+class TestHungWorker:
+    def test_hang_is_abandoned_and_the_innocent_completes(self, tmp_path,
+                                                          monkeypatch):
+        """A worker sleeping far past the wall-clock budget is abandoned
+        (pool terminated, not waited on); the innocent run's result is
+        kept and the hung run is charged a WorkerTimeoutError."""
+        config = make_tiny_config()
+        innocent = RunRequest(config, "tig_m", "dimm+chip", MICRO)
+        hung = RunRequest(config, "tig_m", "ipm+mr3", MICRO)
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "worker_run", "mode": "hang", "hang_s": 120.0,
+            "match": hung.fingerprint,
+        }]))
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        policy = RetryPolicy(max_attempts=1, run_timeout_s=3.0,
+                             backoff_base_s=0.01)
+        summary = execute_plan([innocent, hung], jobs=2, policy=policy)
+
+        assert summary["computed"] == 1
+        assert summary["timeouts"] == 1
+        assert summary["failed"] == 1
+        assert summary["pool_respawns"] == 1
+        [failure] = summary["failures"]
+        assert failure["fingerprint"] == hung.fingerprint
+        assert failure["error_type"] == "WorkerTimeoutError"
+        assert failure["failure_class"] == "transient"
+        assert innocent.fingerprint in _SIM_CACHE
+        assert hung.fingerprint in failed_runs()
+
+        # "Abandoned" must mean killed: a worker left sleeping would
+        # stall interpreter exit until its (long) sleep finishes.
+        deadline = time.monotonic() + 10.0
+        while (multiprocessing.active_children()
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+
+class TestCorruptedStoreDuringParallelRun:
+    def test_detected_and_recomputed_identically(self, tmp_path):
+        """Bytes corrupted on their way to disk during a parallel plan:
+        the self-verifying entry is rejected on the next read and the
+        run recomputes to the identical result."""
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        target = requests[0]
+        cache = SimCache(tmp_path / "cache")
+        use_disk_cache(cache)
+        install_faults([FaultSpec(point="cache_corrupt", mode="corrupt",
+                                  match=target.fingerprint, times=1)])
+        summary = execute_plan(requests, jobs=2)
+        clear_faults()
+        assert summary["computed"] == 4
+        assert summary["failed"] == 0
+        original = _SIM_CACHE[target.fingerprint]
+
+        # A fresh process (cold memory cache) probes the disk cache:
+        # three valid entries hit, the corrupted one is detected.
+        clear_sim_cache()
+        use_disk_cache(cache)
+        summary2 = execute_plan(requests, jobs=2)
+        assert cache.corrupt == 1
+        assert summary2["disk"] == 3
+        assert summary2["computed"] == 1
+        recomputed = _SIM_CACHE[target.fingerprint]
+        assert recomputed.cycles == original.cycles
+        assert recomputed.cpi == original.cpi
+        assert recomputed.stats.snapshot() == original.stats.snapshot()
+
+
+class TestCachePutErrors:
+    def test_failing_disk_never_fails_the_plan(self, tmp_path):
+        """Every store raises OSError (disk full): the plan and the
+        experiment still complete entirely from the memory cache."""
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        cache = SimCache(tmp_path / "cache")
+        use_disk_cache(cache)
+        install_faults([FaultSpec(point="cache_put", error="OSError",
+                                  message="no space left on device")])
+        summary = execute_plan(requests, jobs=2)
+        clear_faults()
+        assert summary["computed"] == 4
+        assert summary["failed"] == 0
+        assert cache.store_errors == 4
+        assert cache.stores == 0
+        assert len(cache) == 0  # nothing persisted...
+        result = Fig17MRSplit().run(config, MICRO)  # ...yet this renders
+        assert result.rows
+
+
+class TestFailedRunRegistry:
+    def test_marked_run_raises_instead_of_executing(self):
+        config = make_tiny_config()
+        request = RunRequest(config, "tig_m", "fpb", MICRO)
+        mark_run_failed(request.fingerprint,
+                        "OSError: boom (fail after 3 attempt(s))")
+        with pytest.raises(RunFailedError, match="boom") as info:
+            sim(config, "tig_m", "fpb", MICRO)
+        assert info.value.fingerprint == request.fingerprint
+        # Clearing the registry (what a re-plan does) restores the run.
+        clear_failed_runs([request.fingerprint])
+        assert sim(config, "tig_m", "fpb", MICRO).cycles > 0
+
+
+class TestCLIAcceptance:
+    """The acceptance bar, driven through the real CLI: a fault injected
+    into 1 of N planned runs, ``run --jobs 2 --keep-going`` completes
+    the other N-1 bit-identical to serial, marks the failure in the
+    manifest and summary, and exits nonzero."""
+
+    def test_keep_going_run_with_injected_crash(self, tmp_path,
+                                                monkeypatch):
+        from repro.experiments import cli
+        from repro.experiments.base import SCALES
+
+        # Register the test scale and shrink the system so the four
+        # fig17 runs stay sub-second; fingerprints then line up with the
+        # serial ground truth below.
+        monkeypatch.setitem(SCALES, "micro", MICRO)
+        monkeypatch.setattr(cli, "baseline_config",
+                            lambda seed=1: make_tiny_config(seed=seed))
+        config = make_tiny_config(seed=1)
+        requests = micro_plan(config)
+        target = requests[2]
+        truth = serial_truth(config,
+                             [r for r in requests if r is not target])
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "worker_run", "mode": "crash",
+            "match": target.fingerprint,
+        }]))
+
+        manifest = tmp_path / "manifest.jsonl"
+        out_dir = tmp_path / "out"
+        exit_code = cli.main([
+            "run", "fig17", "tab1", "--scale", "micro", "--jobs", "2",
+            "--keep-going", "--retries", "1", "--seed", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-out", str(manifest),
+            "--out", str(out_dir), "-q",
+        ])
+        assert exit_code == 1  # a partial sweep is not success
+
+        # The N-1 surviving runs completed, bit-identical to serial.
+        for fingerprint, (cycles, cpi, snapshot) in truth.items():
+            got = _SIM_CACHE[fingerprint]
+            assert (got.cycles, got.cpi) == (cycles, cpi)
+            assert got.stats.snapshot() == snapshot
+
+        # --keep-going: the affected experiment is marked FAILED on
+        # disk, the unaffected one still renders.
+        assert "FAILED" in (out_dir / "fig17.txt").read_text()
+        assert (out_dir / "tab1.txt").read_text().strip()
+
+        # The manifest tells the whole story.
+        records = [json.loads(line)
+                   for line in manifest.read_text().splitlines()]
+        types = [record.get("type") for record in records]
+        assert "retry" in types
+        assert "pool_respawn" in types
+        [failure] = [r for r in records
+                     if r.get("type") == "run_failure"]
+        assert failure["fingerprint"] == target.fingerprint
+        assert failure["verdict"] == "fail"
+        assert failure["failure_class"] == "transient"
+        [plan] = [r for r in records if r.get("type") == "plan_summary"]
+        assert plan["failed"] == 1
+        assert plan["computed"] == 3
+        [header] = [r for r in records if r.get("type") == "run_header"]
+        assert header["exit_code"] == 1
+        assert header["interrupted"] is False
+
+    def test_check_flag_promotes_shape_discrepancies(self, monkeypatch):
+        from repro.experiments import checks, cli
+
+        monkeypatch.setattr(checks, "check_result",
+                            lambda result: ["forced discrepancy"])
+        base = ["run", "tab1", "--no-cache", "-q"]
+        assert cli.main(base) == 0               # report-only by default
+        assert cli.main(base + ["--check"]) == 1
+
+    def test_interrupt_exits_130_and_still_writes_manifest(self, tmp_path,
+                                                           monkeypatch):
+        from repro.experiments import cli
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "plan_runs", interrupted)
+        manifest = tmp_path / "manifest.jsonl"
+        exit_code = cli.main([
+            "run", "fig17", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-out", str(manifest), "-q",
+        ])
+        assert exit_code == 130  # the conventional 128+SIGINT
+        records = [json.loads(line)
+                   for line in manifest.read_text().splitlines()]
+        [header] = [r for r in records if r.get("type") == "run_header"]
+        assert header["exit_code"] == 130
+        assert header["interrupted"] is True
+
+
+class TestInterrupt:
+    def test_engine_interrupt_tears_down_and_reraises(self, tmp_path,
+                                                      monkeypatch):
+        """KeyboardInterrupt mid-plan must propagate promptly — the pool
+        (with possibly-running workers) is terminated, not joined."""
+        import repro.experiments.engine as engine_mod
+
+        config = make_tiny_config()
+        requests = micro_plan(config)
+        use_disk_cache(SimCache(tmp_path / "cache"))
+
+        def interrupted_wait(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(engine_mod, "wait", interrupted_wait)
+        with pytest.raises(KeyboardInterrupt):
+            execute_plan(requests, jobs=2)

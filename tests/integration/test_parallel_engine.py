@@ -127,8 +127,11 @@ class TestPlanDedupe:
         use_disk_cache(SimCache(tmp_path / "cache"))
         requests = Fig17MRSplit().plan(config, MICRO)
         summary = execute_plan(requests, jobs=1)
-        assert summary == {
+        expected = {
             "planned": len(requests), "unique": 4,
             "memory": 0, "disk": 0, "computed": 0,
         }
+        assert {k: summary[k] for k in expected} == expected
+        assert summary["failed"] == summary["quarantined"] == 0
+        assert summary["failures"] == []
         assert not _SIM_CACHE  # nothing ran

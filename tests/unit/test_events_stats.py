@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WatchdogError
 from repro.sim.events import SimEngine
 from repro.sim.stats import SimStats
 
@@ -63,6 +63,61 @@ class TestSimEngine:
         engine.schedule(0, loop)
         with pytest.raises(SimulationError):
             engine.run()
+
+
+class TestForwardProgressWatchdog:
+    def test_same_cycle_livelock_trips(self):
+        """Callbacks rescheduling each other at the current cycle never
+        advance time; the event budget alone would spin for a long time,
+        the forward-progress watchdog trips fast and deterministically."""
+        engine = SimEngine(max_same_cycle_events=50)
+
+        def livelock(t):
+            engine.schedule_after(0, livelock)
+
+        engine.schedule(5, livelock)
+        with pytest.raises(WatchdogError, match="no forward progress"):
+            engine.run()
+        assert engine.now == 5  # time never advanced
+        assert engine.events_processed <= 60  # trips near the threshold
+
+    def test_trips_identically_on_rerun(self):
+        """The watchdog counts dispatches, never wall-clock — a failing
+        schedule fails at the same event count every time, which is what
+        lets the supervisor quarantine it instead of retrying forever."""
+        counts = []
+        for _ in range(2):
+            engine = SimEngine(max_same_cycle_events=30)
+
+            def livelock(t, e=engine):
+                e.schedule_after(0, lambda t2, e=e: livelock(t2, e))
+
+            engine.schedule(2, livelock)
+            with pytest.raises(WatchdogError):
+                engine.run()
+            counts.append(engine.events_processed)
+        assert counts[0] == counts[1]
+
+    def test_legitimate_same_cycle_fanout_passes(self):
+        """Bounded same-cycle bursts (cores x banks worth of events) stay
+        far under the threshold and must not trip."""
+        engine = SimEngine(max_same_cycle_events=100)
+        fired = []
+        for i in range(80):
+            engine.schedule(7, lambda t, i=i: fired.append(i))
+        engine.schedule(9, lambda t: fired.append("later"))
+        assert engine.run() == 9
+        assert len(fired) == 81
+
+    def test_counter_resets_when_time_advances(self):
+        """40 events at each of 10 cycles never accumulates past a
+        threshold of 50 — the counter is per-cycle, not global."""
+        engine = SimEngine(max_same_cycle_events=50)
+        for when in range(10):
+            for _ in range(40):
+                engine.schedule(when, lambda t: None)
+        assert engine.run() == 9
+        assert engine.events_processed == 400
 
 
 class TestSimStats:

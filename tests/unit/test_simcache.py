@@ -49,6 +49,7 @@ class TestRoundTrip:
         assert cache.snapshot() == {
             "root": str(tmp_path / "cache"),
             "hits": 1, "misses": 1, "corrupt": 0, "stores": 1,
+            "store_errors": 0,
         }
 
     def test_contains_and_len(self, tmp_path):
@@ -139,3 +140,69 @@ class TestIntegrity:
         assert cache.get(key) is None
         cache.put(key, make_result(cycles=1000))
         assert cache.get(key).cycles == 1000
+
+
+class TestContainsVerifies:
+    """``key in cache`` verifies the payload digest, so membership and
+    ``get()`` agree for truncated/bit-rotten/garbage entries — a planner
+    probing membership never counts an unloadable entry as present."""
+
+    def store_one(self, tmp_path):
+        cache = SimCache(tmp_path)
+        key = make_key(make_tiny_config())
+        cache.put(key, make_result())
+        return cache, key, cache.path_for(key)
+
+    def test_flipped_byte_not_contained(self, tmp_path):
+        cache, key, path = self.store_one(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert key not in cache
+        assert cache.get(key) is None  # membership and get() agree
+
+    def test_truncated_entry_not_contained(self, tmp_path):
+        cache, key, path = self.store_one(tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        assert key not in cache
+
+    def test_below_digest_size_not_contained(self, tmp_path):
+        cache, key, path = self.store_one(tmp_path)
+        path.write_bytes(b"\x00" * 8)
+        assert key not in cache
+
+    def test_membership_probe_is_read_only(self, tmp_path):
+        """Unlike get(), __contains__ neither deletes the bad entry nor
+        moves any counter — it answers a question, nothing more."""
+        cache, key, path = self.store_one(tmp_path)
+        path.write_bytes(b"garbage that is long enough to check " * 2)
+        before = cache.snapshot()
+        assert key not in cache
+        assert path.exists()
+        assert cache.snapshot() == before
+
+
+class TestBestEffortStores:
+    """``put()`` is an accelerator, not a correctness dependency: an
+    OSError is swallowed, counted, and the caller keeps its result."""
+
+    def test_oserror_counted_not_raised(self, tmp_path):
+        from repro.testing.faults import (
+            FaultSpec, clear_faults, install_faults,
+        )
+        cache = SimCache(tmp_path)
+        key = make_key(make_tiny_config())
+        install_faults([FaultSpec(point="cache_put", error="OSError",
+                                  times=1)])
+        try:
+            assert cache.put(key, make_result()) is False
+        finally:
+            clear_faults()
+        assert cache.store_errors == 1
+        assert cache.stores == 0
+        assert key not in cache
+        assert not list(tmp_path.glob("**/*.tmp"))
+        # the disk recovered: the next store goes through
+        assert cache.put(key, make_result()) is True
+        assert cache.get(key) is not None
+        assert cache.snapshot()["store_errors"] == 1
