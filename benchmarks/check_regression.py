@@ -1,0 +1,128 @@
+"""Benchmark regression gate on kernel-pair speedup ratios.
+
+Reads the ``bench_kernel`` records the latest benchmark session
+appended to ``.benchmarks/BENCH_runs.jsonl`` (see
+``benchmarks/conftest.py``), computes the reference/vectorized speedup
+per benchmark name, prints the table, and fails if any pair
+
+* fell below its absolute floor (the tentpole targets ≥3x on the pure
+  kernel microbenchmarks), or
+* regressed more than 25% against the committed
+  ``benchmarks/BENCH_baseline.json``.
+
+Gating on the *ratio* of two timings from the same session keeps the
+check machine-independent: absolute times shift with hardware, but the
+reference and vectorized kernels run the same inputs on the same host.
+
+Usage::
+
+    pytest benchmarks/test_bench_kernel.py --benchmark-only
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+DEFAULT_MANIFEST = HERE.parent / ".benchmarks" / "BENCH_runs.jsonl"
+DEFAULT_BASELINE = HERE / "BENCH_baseline.json"
+
+#: Regressions beyond this fraction of the baseline speedup fail.
+REGRESSION_SLACK = 0.75
+
+
+def latest_session_kernel_records(manifest: pathlib.Path):
+    """``bench_kernel`` records from the last session (records after
+    the final ``run_header``) of the manifest."""
+    sessions = [[]]
+    with manifest.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "run_header":
+                sessions.append([])
+            elif record.get("type") == "bench_kernel":
+                sessions[-1].append(record)
+    for session in reversed(sessions):
+        if session:
+            return session
+    return []
+
+
+def pair_speedups(records):
+    """name -> reference_min / vectorized_min over the paired records."""
+    times = {}
+    for record in records:
+        times.setdefault(record["name"], {})[record["kernel"]] = record[
+            "min_seconds"
+        ]
+    speedups = {}
+    for name, by_kernel in sorted(times.items()):
+        if {"reference", "vectorized"} <= set(by_kernel):
+            speedups[name] = by_kernel["reference"] / by_kernel["vectorized"]
+    return speedups
+
+
+def check(speedups, baseline):
+    failures = []
+    floors = baseline.get("floors", {})
+    expected = baseline.get("kernel_speedups", {})
+    print(f"{'benchmark':<24}{'speedup':>9}{'baseline':>10}{'floor':>7}  verdict")
+    for name, speedup in speedups.items():
+        floor = floors.get(name, 1.0)
+        base = expected.get(name)
+        bound = floor if base is None else max(floor, base * REGRESSION_SLACK)
+        ok = speedup >= bound
+        print(
+            f"{name:<24}{speedup:>8.2f}x"
+            f"{'' if base is None else format(base, '.2f'):>9}x"
+            f"{floor:>6.1f}x  {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below bound {bound:.2f}x"
+            )
+    missing = set(expected) - set(speedups)
+    for name in sorted(missing):
+        failures.append(f"{name}: baselined benchmark was not run")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--manifest", type=pathlib.Path,
+                        default=DEFAULT_MANIFEST)
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    if not args.manifest.is_file():
+        print(f"no benchmark manifest at {args.manifest}; run "
+              "`pytest benchmarks/test_bench_kernel.py --benchmark-only` first",
+              file=sys.stderr)
+        return 2
+    records = latest_session_kernel_records(args.manifest)
+    speedups = pair_speedups(records)
+    if not speedups:
+        print("no kernel benchmark pairs in the latest session",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(speedups, baseline)
+    if failures:
+        print("\nregression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,7 @@ def run_experiment(exp_id: str, config: SystemConfig):
         "type": "bench_run",
         "exp_id": exp_id,
         "scale": result.scale,
+        "kernel": config.kernel,
         "elapsed_seconds": result.elapsed_seconds,
     }
     try:
@@ -106,6 +107,26 @@ def run_experiment(exp_id: str, config: SystemConfig):
         pass  # tables without a gmean row record timing only
     _bench_records.append(record)
     return result
+
+
+def record_kernel_bench(benchmark, name: str, kernel: str) -> None:
+    """Tag one kernel-pair microbenchmark's timings for the manifest.
+
+    ``benchmarks/check_regression.py`` pairs these records by ``name``
+    across kernels and gates on the reference/vectorized speedup ratio,
+    which is machine-independent (both timings come from the same
+    session on the same host).
+    """
+    stats = benchmark.stats.stats
+    _bench_records.append({
+        "type": "bench_kernel",
+        "name": name,
+        "kernel": kernel,
+        "scale": "bench",
+        "min_seconds": stats.min,
+        "median_seconds": stats.median,
+        "rounds": stats.rounds,
+    })
 
 
 def gmean_row(result):

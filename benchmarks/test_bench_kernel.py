@@ -2,20 +2,32 @@
 
 Unlike the figure benches (which regenerate paper results), these track
 the library's own hot paths so performance regressions are visible:
-event dispatch, write-operation planning, token accounting, cache
-accesses and trace generation.
+event dispatch, iteration sampling, write-operation planning, token
+accounting, cache accesses and trace generation.
+
+The kernel-dependent benches run once per kernel (``[reference]`` /
+``[vectorized]``) on identical inputs; the two kernels produce
+bit-identical results, so the pair measures pure implementation speed.
+``benchmarks/check_regression.py`` gates on the speedup ratios these
+pairs record in ``.benchmarks/BENCH_runs.jsonl``.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.policies.base import PowerManager
 from repro.core.write_op import WriteOperation
+from repro.kernel import available_kernels, get_kernel
 from repro.pcm.dimm import DIMM
 from repro.pcm.mapping import make_mapping
+from repro.rng import make_rng
+from repro.pcm.write_model import IterationSampler
 from repro.sim.events import SimEngine
 from repro.trace.generator import clear_trace_cache, generate_trace
 
-from .conftest import bench_config
+from .conftest import bench_config, record_kernel_bench
+
+KERNELS = available_kernels()
 
 
 def test_event_dispatch_rate(benchmark):
@@ -37,7 +49,48 @@ def test_event_dispatch_rate(benchmark):
     assert benchmark(run) == 100_000
 
 
-def test_write_op_planning(benchmark, config):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_iteration_sampling(benchmark, config, kernel):
+    """Sample P&V iteration counts for 300 line writes of 256 cells."""
+    sampler = IterationSampler(config.pcm, kernel=kernel)
+    rng = np.random.default_rng(7)
+    levels = [
+        rng.integers(0, config.pcm.n_levels, size=256) for _ in range(300)
+    ]
+
+    def run():
+        total = 0
+        for i, targets in enumerate(levels):
+            total += int(sampler.sample(targets, make_rng(1, "s", i)).sum())
+        return total
+
+    assert benchmark(run) > 0
+    record_kernel_bench(benchmark, "iteration_sampling", kernel)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_schedule_histograms(benchmark, kernel):
+    """active/chip-active histograms for 2000 sampled writes."""
+    impl = get_kernel(kernel)
+    rng = np.random.default_rng(8)
+    batches = [
+        (rng.integers(0, 8, size=250), rng.integers(1, 16, size=250))
+        for _ in range(2000)
+    ]
+
+    def run():
+        total = 0
+        for chips, counts in batches:
+            active, chip_active = impl.plan(chips, counts, 8)
+            total += int(active[0]) + int(chip_active[0, 0])
+        return total
+
+    assert benchmark(run) > 0
+    record_kernel_bench(benchmark, "schedule_histograms", kernel)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_write_op_planning(benchmark, config, kernel):
     """Build 500 write operations with per-chip iteration matrices."""
     dimm = DIMM(config)
     rng = np.random.default_rng(1)
@@ -53,15 +106,18 @@ def test_write_op_planning(benchmark, config):
         total = 0
         for i, (idx, counts) in enumerate(payloads):
             w = WriteOperation(i, 0, 0, idx, counts, dimm.mapping,
-                               mr_splits=3)
+                               mr_splits=3, kernel=kernel)
             total += w.total_iterations
         return total
 
     assert benchmark(run) > 0
+    record_kernel_bench(benchmark, "write_op_planning", kernel)
 
 
-def test_token_accounting_throughput(benchmark, config):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_token_accounting_throughput(benchmark, kernel):
     """Issue/advance/complete 200 writes through the FPB manager."""
+    config = bench_config().with_kernel(kernel)
     rng = np.random.default_rng(2)
     payloads = [
         (
@@ -80,7 +136,8 @@ def test_token_accounting_throughput(benchmark, config):
         done = 0
         t = 0
         for i, (idx, counts) in enumerate(payloads):
-            w = WriteOperation(i, 0, 0, idx, counts, dimm.mapping)
+            w = WriteOperation(i, 0, 0, idx, counts, dimm.mapping,
+                               kernel=manager.kernel)
             if not manager.try_issue(w, t):
                 continue
             i_iter = 0
@@ -97,6 +154,7 @@ def test_token_accounting_throughput(benchmark, config):
         return done
 
     assert benchmark(run) > 0
+    record_kernel_bench(benchmark, "token_accounting", kernel)
 
 
 def test_mapping_lookup_rate(benchmark):
@@ -117,8 +175,10 @@ def test_mapping_lookup_rate(benchmark):
     assert benchmark(run) > 0
 
 
-def test_trace_generation_rate(benchmark, config):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_trace_generation_rate(benchmark, kernel):
     """End-to-end trace generation (cache hierarchy + device model)."""
+    config = bench_config().with_kernel(kernel)
 
     def run():
         clear_trace_cache()
@@ -129,3 +189,4 @@ def test_trace_generation_rate(benchmark, config):
         return trace.stats.writes
 
     assert benchmark(run) > 0
+    record_kernel_bench(benchmark, "trace_generation", kernel)

@@ -50,6 +50,10 @@ class SetAssocCache:
             raise ConfigError(f"{name}: no sets")
         # set index -> MRU-ordered list of [tag, dirty].
         self._sets: Dict[int, List[List[int]]] = {}
+        # Pending prefill arrays: sets materialize lazily on first touch
+        # (a finite trace window touches a small fraction of a large L3,
+        # so eagerly building 100k+ way lists is wasted work).
+        self._prefill: Optional[Tuple] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -62,12 +66,29 @@ class SetAssocCache:
     def _line_addr(self, set_index: int, tag: int) -> int:
         return (tag * self.n_sets + set_index) * self.line_size
 
+    def _materialize(self, set_index: int) -> List[List[int]]:
+        """First touch of a set: build its way list (from the prefill
+        arrays if present, else empty)."""
+        pre = self._prefill
+        if pre is not None:
+            tags, dirty = pre
+            ways = [
+                [int(t), bool(d)]
+                for t, d in zip(tags[set_index], dirty[set_index])
+            ]
+        else:
+            ways = []
+        self._sets[set_index] = ways
+        return ways
+
     def access(self, addr: int, is_write: bool) -> AccessResult:
         """Look up (and on miss, allocate) the line containing ``addr``."""
         line = addr // self.line_size
         set_index = line % self.n_sets
         tag = line // self.n_sets
-        ways = self._sets.setdefault(set_index, [])
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._materialize(set_index)
         for pos, entry in enumerate(ways):
             if entry[0] == tag:
                 self.hits += 1
@@ -94,7 +115,10 @@ class SetAssocCache:
         write-backs arriving from an upper level). Returns True if the
         line was resident."""
         set_index, tag = self._locate(addr)
-        for entry in self._sets.get(set_index, ()):
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._materialize(set_index)
+        for entry in ways:
             if entry[0] == tag:
                 entry[1] = True
                 return True
@@ -103,13 +127,18 @@ class SetAssocCache:
     def contains(self, addr: int) -> bool:
         """Is the line holding ``addr`` resident?"""
         set_index, tag = self._locate(addr)
-        return any(e[0] == tag for e in self._sets.get(set_index, ()))
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._materialize(set_index)
+        return any(e[0] == tag for e in ways)
 
     def install(self, addr: int, dirty: bool) -> AccessResult:
         """Allocate a line without counting a demand access (used for
         no-fetch write allocation of streaming stores)."""
         set_index, tag = self._locate(addr)
-        ways = self._sets.setdefault(set_index, [])
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._materialize(set_index)
         for pos, entry in enumerate(ways):
             if entry[0] == tag:
                 if pos:
@@ -139,10 +168,8 @@ class SetAssocCache:
                 f"{self.name}: prefill shape {tags.shape} does not fit "
                 f"{self.n_sets} sets x {self.assoc} ways"
             )
-        for s in range(n_sets):
-            self._sets[s] = [
-                [int(tags[s, k]), bool(dirty[s, k])] for k in range(ways)
-            ]
+        self._sets.clear()
+        self._prefill = (tags, dirty)
 
     @property
     def accesses(self) -> int:

@@ -331,6 +331,10 @@ class SchedulerConfig:
             raise ConfigError("preset_reset_fraction must be in (0, 1]")
 
 
+#: Simulation-kernel implementations (see :mod:`repro.kernel`).
+KERNELS = ("reference", "vectorized")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything the simulator needs, bundled."""
@@ -345,6 +349,13 @@ class SystemConfig:
     wear_leveling: bool = False
     #: Track per-cell wear during simulation (endurance studies).
     track_wear: bool = False
+    #: Simulation-kernel implementation: ``"reference"`` (per-cell
+    #: scalar loops — the executable specification) or ``"vectorized"``
+    #: (batched NumPy fast path). Both produce byte-identical
+    #: :class:`~repro.sim.runner.SimResult`\ s; the choice participates
+    #: in :func:`config_fingerprint` like every other field, so caches
+    #: never conflate kernels.
+    kernel: str = "reference"
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -352,6 +363,10 @@ class SystemConfig:
             raise ConfigError(
                 "the PCM line size must match the L3 line size "
                 f"({self.memory.line_size} != {self.caches.l3.line_size})"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}"
             )
 
     @property
@@ -390,3 +405,7 @@ class SystemConfig:
     def with_mapping(self, mapping: str) -> "SystemConfig":
         """Derive a config with a different cell-to-chip mapping."""
         return replace(self, cell_mapping=mapping)
+
+    def with_kernel(self, kernel: str) -> "SystemConfig":
+        """Derive a config running on a different simulation kernel."""
+        return replace(self, kernel=kernel)

@@ -21,10 +21,11 @@ import numpy as np
 
 from ...config.system import SystemConfig
 from ...errors import SchedulingError
+from ...kernel import get_kernel
 from ...pcm.chip import TOKEN_EPS
 from ...pcm.dimm import DIMM
 from ...power.gcp import GCPGrant, GlobalChargePump
-from ...power.tokens import TokenPool
+from ...power.tokens import ChipTokenLedger, TokenPool
 from ..write_op import WriteOperation
 
 #: Segment power sources.
@@ -36,7 +37,7 @@ SRC_GCP = 2
 class Holding:
     """Tokens currently held on behalf of one write."""
 
-    __slots__ = ("dimm", "chip", "grants", "sources")
+    __slots__ = ("dimm", "chip", "grants", "sources", "has_gcp")
 
     def __init__(self, n_chips: int):
         self.dimm = 0.0
@@ -46,6 +47,9 @@ class Holding:
         #: Per-chip power source, fixed for the write's lifetime once
         #: chosen ("one segment uses either LCP or GCP", Section 4.1).
         self.sources = np.zeros(n_chips, dtype=np.int8)
+        #: True iff any entry of ``sources`` is SRC_GCP — maintained so
+        #: the vectorized all-LCP fast path can skip scanning sources.
+        self.has_gcp = False
 
     @property
     def total(self) -> float:
@@ -83,6 +87,12 @@ class PowerManager:
         self.pwl = pwl
         self.mr_grouping = mr_grouping
         self.reset_set_ratio = config.pcm.reset_set_power_ratio
+        #: Simulation kernel: the reference kernel arbitrates chip
+        #: tokens one chip at a time; the vectorized kernel batches the
+        #: whole iteration through a :class:`ChipTokenLedger` and the
+        #: write's cached allocation profile. Results are identical.
+        self.kernel = get_kernel(config.kernel)
+        self._vec = self.kernel.vectorized
 
         #: The DIMM budget is *input power* (Eq. 6): LCP-delivered tokens
         #: draw 1/E_LCP each, GCP-delivered tokens 1/E_GCP each.
@@ -95,6 +105,13 @@ class PowerManager:
                 gcp_efficiency=config.power.gcp_efficiency,
                 max_output_tokens=config.power.gcp_output_tokens(dimm.n_chips),
             )
+        self.chip_ledger: Optional[ChipTokenLedger] = None
+        if self._vec and self.enforce_chip:
+            self.chip_ledger = ChipTokenLedger(
+                [chip.budget for chip in dimm.chips]
+            )
+        #: Read-only zero source vector for writes with no prior holding.
+        self._no_sources = np.zeros(dimm.n_chips, dtype=np.int8)
         self._holdings: Dict[int, Holding] = {}
         #: Optional telemetry observer (:class:`repro.obs.Telemetry`);
         #: emits are guarded so the untraced path stays hot.
@@ -163,6 +180,7 @@ class PowerManager:
         holding = self._holdings.get(write.write_id)
         if holding is not None and holding.sources.any():
             holding.sources[:] = SRC_NONE
+            holding.has_gcp = False
             return self._try_acquire(write, write.current_iteration, now)
         return False
 
@@ -218,18 +236,22 @@ class PowerManager:
             return
         if holding.dimm > TOKEN_EPS:
             self.dimm_pool.release(holding.dimm, now)
-        for chip in self.dimm.chips:
-            held = holding.chip[chip.chip_id]
-            if held > TOKEN_EPS:
-                chip.release(held)
+        if self.chip_ledger is not None:
+            self.chip_ledger.release_held(holding.chip)
+        else:
+            for chip in self.dimm.chips:
+                held = holding.chip[chip.chip_id]
+                if held > TOKEN_EPS:
+                    chip.release(held)
         for grant in holding.grants.values():
             assert self.gcp is not None
             self.gcp.release(grant)
         if keep_sources:
-            sources = holding.sources
-            holding = Holding(self.dimm.n_chips)
-            holding.sources = sources
-            self._holdings[write.write_id] = holding
+            # Reuse the Holding in place (sources and has_gcp survive;
+            # everything released above is zeroed).
+            holding.dimm = 0.0
+            holding.chip[:] = 0.0
+            holding.grants.clear()
         else:
             del self._holdings[write.write_id]
 
@@ -244,8 +266,14 @@ class PowerManager:
 
         All checks (chip LCPs, GCP pump capacity, DIMM input power) run
         before anything is committed, so failure never leaves partial
-        holdings behind.
+        holdings behind. The reference kernel arbitrates chip by chip;
+        the vectorized kernel evaluates the same plan with array ops.
         """
+        if self._vec:
+            return self._try_acquire_vec(write, i, now)
+        return self._try_acquire_ref(write, i, now)
+
+    def _try_acquire_ref(self, write: WriteOperation, i: int, now: int) -> bool:
         c_ratio = self.reset_set_ratio
         holding = self._holdings.get(write.write_id)
         if holding is None:
@@ -304,6 +332,7 @@ class PowerManager:
                 holding.grants[c] = self.gcp.acquire(float(need[c]))
                 holding.sources[c] = SRC_GCP
             if gcp_total > 0:
+                holding.has_gcp = True
                 write.gcp_peak_tokens = max(write.gcp_peak_tokens, gcp_total)
                 if self.obs is not None:
                     self.obs.on_gcp_acquire(write, gcp_total, now)
@@ -313,9 +342,151 @@ class PowerManager:
         self._holdings[write.write_id] = holding
         return True
 
+    def _try_acquire_vec(self, write: WriteOperation, i: int, now: int) -> bool:
+        """Array-ledger twin of :meth:`_try_acquire_ref`.
+
+        The per-chip source choice, feasibility checks, failure
+        accounting and commits are evaluated with boolean masks over the
+        write's cached allocation profile instead of a Python loop, but
+        every float travels through the same arithmetic: totals are
+        accumulated sequentially in chip order (NumPy's pairwise ``sum``
+        would round differently) and the ledger updates mirror
+        ``PCMChip`` elementwise.
+        """
+        c_ratio = self.reset_set_ratio
+        holding = self._holdings.get(write.write_id)
+
+        if not self.enforce_chip:
+            dimm_alloc = (
+                write.dimm_profile(i, c_ratio)
+                if self.ipm
+                else float(write.n_changed)
+            )
+            dimm_input = dimm_alloc / self.lcp_efficiency
+            if self.enforce_dimm and not self.dimm_pool.can_allocate(
+                dimm_input
+            ):
+                self.fail_counts["dimm"] += 1
+                return False
+            if holding is None:
+                holding = Holding(self.dimm.n_chips)
+                self._holdings[write.write_id] = holding
+            if self.enforce_dimm and dimm_input > TOKEN_EPS:
+                self.dimm_pool.allocate(dimm_input, now)
+                holding.dimm = dimm_input
+            return True
+
+        need, local_total, pos = (
+            write.chip_plan(i, c_ratio)
+            if self.ipm
+            else write.chip_counts_plan()
+        )
+        ledger = self.chip_ledger
+        assert ledger is not None
+
+        if (holding is None or not holding.has_gcp) and bool(
+            ledger.fits(need).all()
+        ):
+            # Fast path (the overwhelmingly common case): no segment is
+            # pinned to the GCP and every demand fits its local pump, so
+            # the whole plan is LCP — SRC_NONE segments route LCP-first
+            # and pinned-LCP segments fit by the same check. Zero-demand
+            # chips contribute exact zeros to the sum and the ledger
+            # update (a positive demand is always >> TOKEN_EPS), so no
+            # masking is needed anywhere.
+            dimm_input = local_total / self.lcp_efficiency
+            if self.enforce_dimm and not self.dimm_pool.can_allocate(
+                dimm_input
+            ):
+                self.fail_counts["dimm"] += 1
+                return False
+            if holding is None:
+                holding = Holding(self.dimm.n_chips)
+                self._holdings[write.write_id] = holding
+            ledger.allocate_all(need)
+            holding.chip[:] = need
+            holding.sources[pos] = SRC_LCP
+            if self.enforce_dimm and dimm_input > TOKEN_EPS:
+                self.dimm_pool.allocate(dimm_input, now)
+                holding.dimm = dimm_input
+            return True
+
+        # General path: per-chip source routing with boolean masks.
+        gcp_total = 0.0
+        sources = (
+            holding.sources if holding is not None else self._no_sources
+        )
+        fits = ledger.fits(need)
+        chosen = np.where(
+            sources == SRC_NONE,
+            np.where(fits, SRC_LCP, SRC_GCP),
+            sources,
+        )
+        lcp = pos & (chosen == SRC_LCP)
+        gcp = pos & (chosen == SRC_GCP)
+        # A pinned-LCP segment that no longer fits, or any GCP-routed
+        # segment without a pump, fails the same "chip" counter the
+        # per-chip loop charges.
+        if (lcp & ~fits).any() or (self.gcp is None and gcp.any()):
+            self.fail_counts["chip"] += 1
+            return False
+        local_total = 0.0
+        for amount in need[lcp].tolist():
+            local_total += amount
+        if gcp.any():
+            for amount in need[gcp].tolist():
+                gcp_total += amount
+            if not self.gcp.can_supply(gcp_total):
+                self.fail_counts["gcp"] += 1
+                return False
+        dimm_input = local_total / self.lcp_efficiency
+        if gcp_total > 0:
+            dimm_input += self.gcp.input_power(gcp_total)
+
+        if self.enforce_dimm and not self.dimm_pool.can_allocate(dimm_input):
+            self.fail_counts["dimm"] += 1
+            return False
+
+        # --- commit ---
+        if holding is None:
+            holding = Holding(self.dimm.n_chips)
+        if lcp.any():
+            ledger.allocate(need, lcp)
+            holding.chip[lcp] = need[lcp]
+            holding.sources[lcp] = SRC_LCP
+        if gcp.any():
+            assert self.gcp is not None
+            gcp_idx = np.flatnonzero(gcp)
+            holding.grants.update(
+                self.gcp.acquire_many(
+                    gcp_idx.tolist(), need[gcp_idx].tolist()
+                )
+            )
+            holding.sources[gcp] = SRC_GCP
+            holding.has_gcp = True
+            write.gcp_peak_tokens = max(write.gcp_peak_tokens, gcp_total)
+            if self.obs is not None:
+                self.obs.on_gcp_acquire(write, gcp_total, now)
+        if self.enforce_dimm and dimm_input > TOKEN_EPS:
+            self.dimm_pool.allocate(dimm_input, now)
+            holding.dimm = dimm_input
+        self._holdings[write.write_id] = holding
+        return True
+
     # ------------------------------------------------------------------
     # Invariant checks (used by tests)
     # ------------------------------------------------------------------
+    def chip_allocations(self) -> np.ndarray:
+        """Per-chip LCP tokens currently allocated (telemetry/tests).
+
+        Reads the array ledger under the vectorized kernel and the
+        individual :class:`~repro.pcm.chip.PCMChip` balances otherwise;
+        treat the result as read-only.
+        """
+        if self.chip_ledger is not None:
+            return self.chip_ledger.allocated
+        return np.array([chip.allocated for chip in self.dimm.chips])
+
     def assert_conserved(self) -> None:
         """Every pool's allocation equals the sum over live holdings."""
         dimm_sum = sum(h.dimm for h in self._holdings.values())
@@ -323,12 +494,13 @@ class PowerManager:
             raise SchedulingError(
                 f"DIMM pool leak: held {dimm_sum} vs pool {self.dimm_pool.allocated}"
             )
-        for chip in self.dimm.chips:
-            chip_sum = sum(h.chip[chip.chip_id] for h in self._holdings.values())
-            if abs(chip_sum - chip.allocated) > 1e-6:
+        allocated = self.chip_allocations()
+        for chip_id in range(self.dimm.n_chips):
+            chip_sum = sum(h.chip[chip_id] for h in self._holdings.values())
+            if abs(chip_sum - allocated[chip_id]) > 1e-6:
                 raise SchedulingError(
-                    f"chip {chip.chip_id} leak: held {chip_sum} vs "
-                    f"{chip.allocated}"
+                    f"chip {chip_id} leak: held {chip_sum} vs "
+                    f"{allocated[chip_id]}"
                 )
 
     def __repr__(self) -> str:

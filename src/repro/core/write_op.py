@@ -27,16 +27,15 @@ The FPB-IPM allocation profile for a write with ``n`` changed cells,
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import SchedulingError
+from ..kernel import Kernel, get_kernel
 from ..pcm.mapping import CellMapping
-from ..pcm.write_model import (
-    active_cells_per_chip_iteration,
-    active_cells_per_iteration,
-)
+from ..pcm.write_model import active_cells_per_iteration
+from ..power.tokens import TOKEN_EPS
 
 
 class WriteState(enum.Enum):
@@ -70,6 +69,7 @@ class WriteOperation:
         offset: int = 0,
         mr_splits: int = 1,
         truncate_max_cells: Optional[int] = None,
+        kernel: Union[str, Kernel, None] = None,
     ):
         if mr_splits < 1:
             raise SchedulingError(f"mr_splits must be >= 1, got {mr_splits}")
@@ -90,16 +90,14 @@ class WriteOperation:
         self.iteration_counts = counts
         self.n_changed = int(self.changed_idx.size)
         self.n_chips = mapping.n_chips
+        self.kernel = get_kernel(kernel)
 
-        max_count = int(counts.max()) if counts.size else 0
         self.chip_of_cell = mapping.chip_of(self.changed_idx, offset)
-        #: active[k] = cells still programming in cell-iteration k+1.
-        self.active = active_cells_per_iteration(counts, max_count) \
-            if counts.size else np.zeros(0, dtype=np.int64)
-        #: chip_active[c, k] = chip c's cells still programming in k+1.
-        self.chip_active = active_cells_per_chip_iteration(
+        #: active[k] = cells still programming in cell-iteration k+1;
+        #: chip_active[c, k] restricts that to chip c.
+        self.active, self.chip_active = self.kernel.plan(
             self.chip_of_cell, counts, self.n_chips
-        ) if counts.size else np.zeros((self.n_chips, 0), dtype=np.int64)
+        )
         self.chip_counts = (
             self.chip_active[:, 0]
             if self.chip_active.shape[1]
@@ -116,6 +114,13 @@ class WriteOperation:
         self.cancel_count = 0
         #: Peak GCP output simultaneously supplying this write (Fig. 14).
         self.gcp_peak_tokens = 0.0
+        #: Cached (ratio, dimm_vec, chip_mat, row_sums, row_pos) IPM
+        #: allocation profile.
+        self._ipm_profiles: Optional[Tuple] = None
+        #: Cached per-write (non-IPM) chip demand plan.
+        self._flat_plan: Optional[
+            Tuple[np.ndarray, float, np.ndarray]
+        ] = None
 
         self.mr_splits = 1
         self.group_totals = np.array([self.n_changed], dtype=np.int64)
@@ -141,6 +146,7 @@ class WriteOperation:
             raise SchedulingError("cannot re-plan an in-flight write")
         mr_splits = max(1, min(mr_splits, max(1, self.n_changed)))
         self.mr_splits = mr_splits
+        self._ipm_profiles = None
         if mr_splits == 1 or not self.n_changed:
             self.group_totals = np.array([self.n_changed], dtype=np.int64)
             self.group_chip_counts = self.chip_counts.reshape(self.n_chips, 1)
@@ -168,15 +174,7 @@ class WriteOperation:
 
     def _rank_in_chip(self) -> np.ndarray:
         """Position of each changed cell within its chip's cell array."""
-        all_chips = self.mapping.chip_of(
-            np.arange(self.mapping.n_cells), self.offset
-        )
-        # rank of cell i = how many earlier cells share its chip.
-        rank_all = np.zeros(self.mapping.n_cells, dtype=np.int64)
-        for chip in range(self.n_chips):
-            members = np.flatnonzero(all_chips == chip)
-            rank_all[members] = np.arange(members.size)
-        return rank_all[self.changed_idx]
+        return self.mapping.rank_in_chip(self.offset)[self.changed_idx]
 
     # ------------------------------------------------------------------
     # Schedule queries
@@ -237,6 +235,81 @@ class WriteOperation:
         if j == 1:
             return self.chip_counts / reset_set_ratio
         return self.chip_active[:, j - 1] / reset_set_ratio
+
+    def _profiles(self, reset_set_ratio: float) -> Tuple:
+        """The whole IPM allocation schedule as two arrays.
+
+        Row ``i`` of each array is exactly ``dimm_alloc(i, ratio, True)``
+        / ``chip_alloc(i, ratio, True)``: the RESET-group rows followed
+        by the lagged SET rows ``active[j-1] / C``. Elementwise division
+        by the same ratio keeps every entry bit-identical to the
+        per-call scalar computation; the vectorized PowerManager indexes
+        these instead of rebuilding each iteration's demand. Also cached
+        per row: the chip-order sum (``np.cumsum`` is a sequential scan,
+        so its rounding matches a per-chip accumulation loop) and the
+        ``> TOKEN_EPS`` mask.
+        """
+        cached = self._ipm_profiles
+        if cached is not None and cached[0] == reset_set_ratio:
+            return cached
+        sets = max(self.max_cell_iterations - 1, 0)
+        dimm = np.concatenate([
+            self.group_totals.astype(np.float64),
+            self.active[:sets] / reset_set_ratio,
+        ])
+        chip = np.concatenate([
+            self.group_chip_counts.T.astype(np.float64),
+            self.chip_active[:, :sets].T / reset_set_ratio,
+        ])
+        cached = (
+            reset_set_ratio,
+            dimm,
+            chip,
+            np.cumsum(chip, axis=1)[:, -1],
+            chip > TOKEN_EPS,
+        )
+        self._ipm_profiles = cached
+        return cached
+
+    def dimm_profile(self, i: int, reset_set_ratio: float) -> float:
+        """Cached equivalent of ``dimm_alloc(i, ratio, ipm=True)``."""
+        self._check_iteration(i)
+        return float(self._profiles(reset_set_ratio)[1][i])
+
+    def chip_profile(self, i: int, reset_set_ratio: float) -> np.ndarray:
+        """Cached equivalent of ``chip_alloc(i, ratio, ipm=True)``.
+
+        Returns a read-only view into the cached profile matrix.
+        """
+        self._check_iteration(i)
+        return self._profiles(reset_set_ratio)[2][i]
+
+    def chip_plan(
+        self, i: int, reset_set_ratio: float
+    ) -> Tuple[np.ndarray, float, np.ndarray]:
+        """``(need, total, positive)`` for IPM iteration ``i``.
+
+        ``need`` is the cached profile row, ``total`` its sum
+        accumulated in chip order (matching the reference kernel's
+        per-chip loop bit for bit), and ``positive`` the
+        ``need > TOKEN_EPS`` mask. All three are cached views — the
+        power manager hits this on every iteration of every write.
+        """
+        self._check_iteration(i)
+        prof = self._profiles(reset_set_ratio)
+        return prof[2][i], float(prof[3][i]), prof[4][i]
+
+    def chip_counts_plan(self) -> Tuple[np.ndarray, float, np.ndarray]:
+        """Per-write-budgeting twin of :meth:`chip_plan` (demand is the
+        flat RESET-level ``chip_counts``, identical every iteration).
+        Integer sums are exact in any order, so no sequential scan is
+        needed here."""
+        cached = self._flat_plan
+        if cached is None:
+            need = self.chip_counts.astype(np.float64)
+            cached = (need, float(self.chip_counts.sum()), need > TOKEN_EPS)
+            self._flat_plan = cached
+        return cached
 
     def cells_finishing_at(self, i: int) -> int:
         """Cells whose programming completes at the end of iteration i.

@@ -38,7 +38,9 @@ import time
 from typing import List, Optional, Tuple
 
 from ..config.presets import baseline_config
+from ..config.system import SystemConfig
 from ..errors import RunFailedError
+from ..kernel import available_kernels
 from ..obs.logging import get_logger, setup_logging
 from ..sim.simcache import DEFAULT_CACHE_DIR, SimCache
 from .base import DEFAULT, SCALES, RunScale, use_disk_cache, use_telemetry
@@ -123,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=1, help="root RNG seed")
     run.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="simulation kernel (reference/vectorized; results are "
+             "identical, only speed differs; default: config default)",
+    )
+    run.add_argument(
         "--jobs", type=_jobs, default=1, metavar="N",
         help="worker processes for the planned simulation runs "
              "(default 1 = serial; 0 = one per CPU)",
@@ -185,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(exp_id: str, scale: RunScale, seed: int,
+def _run_one(exp_id: str, scale: RunScale, config: SystemConfig,
              out_dir: Optional[pathlib.Path], bars: bool = False,
              csv: bool = False) -> Tuple[str, int]:
     """Run one experiment; returns its report text and the number of
@@ -194,8 +201,8 @@ def _run_one(exp_id: str, scale: RunScale, seed: int,
     from .checks import check_result
 
     experiment = get_experiment(exp_id)
-    config = baseline_config(seed=seed)
-    log.debug("running %s at scale %s (seed %d)", exp_id, scale.name, seed)
+    log.debug("running %s at scale %s (seed %d, kernel %s)",
+              exp_id, scale.name, config.seed, config.kernel)
     result = experiment(config, scale)
     text = result.to_table()
     if bars:
@@ -258,13 +265,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     policy = RetryPolicy(max_attempts=args.retries + 1,
                          run_timeout_s=args.timeout)
+    base_config = baseline_config(seed=args.seed)
+    if args.kernel is not None and args.kernel != base_config.kernel:
+        base_config = base_config.with_kernel(args.kernel)
+
     exit_code = EXIT_OK
     summary = None
     wall_start = time.time()
     try:
         try:
-            requests = plan_runs(targets, baseline_config(seed=args.seed),
-                                 scale)
+            requests = plan_runs(targets, base_config, scale)
             if requests and (args.jobs > 1 or cache is not None):
                 summary = execute_plan(requests, jobs=args.jobs,
                                        policy=policy)
@@ -288,7 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if telemetry is not None:
                     telemetry.current_experiment = exp_id
                 try:
-                    text, issues = _run_one(exp_id, scale, args.seed,
+                    text, issues = _run_one(exp_id, scale, base_config,
                                             args.out, bars=args.bars,
                                             csv=args.csv)
                 except RunFailedError as exc:
@@ -331,7 +341,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     }
                 telemetry.write_manifest(
                     args.metrics_out,
-                    baseline_config(seed=args.seed),
+                    base_config,
                     seed=args.seed,
                     scale=scale.name,
                     experiments=targets,

@@ -1,0 +1,115 @@
+"""Reference kernel: per-cell scalar loops as the executable spec.
+
+Every loop here follows the paper's prose directly — one cell, one
+chip, one iteration at a time — with scalar RNG draws. NumPy
+``Generator`` scalar draws consume the underlying bitstream exactly
+like array draws of the same distribution, so as long as this kernel
+visits cells in the same order the vectorized kernel batches them, the
+two produce identical samples from identical streams. The draw order
+per level is: one uniform per cell (fast/slow classification or
+randomized rounding), then one bounded uniform integer per *fast* cell
+in cell order, then one geometric per *slow* cell in cell order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config.system import WriteLevelModel
+from ..errors import ConfigError
+from .base import Kernel
+
+
+class ReferenceKernel(Kernel):
+    name = "reference"
+    vectorized = False
+
+    def sample_iterations(
+        self,
+        models: Sequence[WriteLevelModel],
+        target_levels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        levels = [int(lv) for lv in np.asarray(target_levels)]
+        if levels and max(levels) >= len(models):
+            raise ConfigError(f"target level {max(levels)} has no write model")
+        counts = np.empty(len(levels), dtype=np.uint8)
+        for level, model in enumerate(models):
+            cells = [i for i, lv in enumerate(levels) if lv == level]
+            if cells:
+                self._sample_level(model, cells, counts, rng)
+        return counts
+
+    def _sample_level(
+        self,
+        model: WriteLevelModel,
+        cells: List[int],
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if model.fast_fraction <= 0.0 or model.fast_max_iterations <= 0:
+            # Deterministic level (e.g. '00' -> 1 iteration, '11' -> 2).
+            if model.mean_iterations == int(model.mean_iterations):
+                value = int(model.mean_iterations)
+                for i in cells:
+                    counts[i] = value
+                return
+            # Non-integer mean without a mixture: randomized rounding.
+            low = int(np.floor(model.mean_iterations))
+            frac = model.mean_iterations - low
+            for i in cells:
+                counts[i] = low + (rng.random() < frac)
+            return
+
+        # Classify each cell as fast or slow with one uniform draw.
+        fast_cells: List[int] = []
+        slow_cells: List[int] = []
+        for i in cells:
+            if rng.random() < model.fast_fraction:
+                fast_cells.append(i)
+            else:
+                slow_cells.append(i)
+        # Fast phase: uniform over [1, fast_max_iterations].
+        for i in fast_cells:
+            drawn = int(rng.integers(1, model.fast_max_iterations + 1))
+            counts[i] = min(drawn, model.max_iterations)
+        # Slow tail: shifted geometric whose mean preserves the overall mean.
+        fast_mean = (1 + model.fast_max_iterations) / 2.0
+        slow_mean = (
+            model.mean_iterations - model.fast_fraction * fast_mean
+        ) / (1.0 - model.fast_fraction)
+        tail_mean = max(1.0, slow_mean - model.fast_max_iterations)
+        p = min(1.0, 1.0 / tail_mean)
+        for i in slow_cells:
+            drawn = model.fast_max_iterations + int(rng.geometric(p))
+            counts[i] = min(drawn, model.max_iterations)
+
+    def plan(
+        self,
+        chip_of_cell: np.ndarray,
+        iteration_counts: np.ndarray,
+        n_chips: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        counts = [int(c) for c in np.asarray(iteration_counts)]
+        if not counts:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((n_chips, 0), dtype=np.int64),
+            )
+        if min(counts) < 1:
+            raise ConfigError("iteration counts must be >= 1")
+        last = max(counts)
+        active = [0] * last
+        chip_rows = [[0] * last for _ in range(n_chips)]
+        # A cell with total count c draws power in iterations 1..c.
+        for chip, count in zip(np.asarray(chip_of_cell).tolist(), counts):
+            row = chip_rows[chip]
+            for k in range(count):
+                active[k] += 1
+                row[k] += 1
+        return (
+            np.asarray(active, dtype=np.int64),
+            np.asarray(chip_rows, dtype=np.int64),
+        )

@@ -1,0 +1,147 @@
+"""Vectorized kernel: batched NumPy draws and fused histogram planning.
+
+Sampling draws one matrix of uniforms per write (plus one bounded
+integer batch for the fast cells and one geometric batch for the slow
+tail, per level) instead of one Python-level call per cell. Planning
+fuses the per-chip and per-iteration active-cell accounting into a
+single ``bincount`` over ``chip * last + (count - 1)`` followed by a
+reversed cumulative sum.
+
+The module-level :func:`active_cells_per_iteration` and
+:func:`active_cells_per_chip_iteration` are the canonical array
+implementations; :mod:`repro.pcm.write_model` re-exports them for its
+historical callers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..config.system import WriteLevelModel
+from ..errors import ConfigError
+from .base import Kernel
+
+
+def active_cells_per_iteration(
+    iteration_counts: Sequence[int], max_iterations: int
+) -> np.ndarray:
+    """How many cells are still being programmed in each iteration.
+
+    Entry ``k`` (0-based) is the number of cells whose total iteration
+    count is at least ``k+1`` — i.e. the cells drawing power during
+    iteration ``k+1``. Entry 0 therefore equals the number of changed
+    cells (all are RESET in iteration 1).
+
+    >>> active_cells_per_iteration([1, 2, 2, 4], 4)
+    array([4, 3, 1, 1])
+    """
+    counts = np.asarray(iteration_counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if counts.min() < 1:
+        raise ConfigError("iteration counts must be >= 1")
+    hist = np.bincount(counts, minlength=max_iterations + 1)[1:]
+    # active(k) = number of cells with count >= k = reversed cumulative sum.
+    active = hist[::-1].cumsum()[::-1]
+    last = int(counts.max())
+    return active[:last]
+
+
+def active_cells_per_chip_iteration(
+    chip_of_cell: np.ndarray,
+    iteration_counts: np.ndarray,
+    n_chips: int,
+) -> np.ndarray:
+    """Per-chip active-cell matrix, shape ``(n_chips, max_count)``.
+
+    ``matrix[c, k]`` is how many of chip ``c``'s cells are still being
+    programmed during iteration ``k+1``. Used to enforce chip-level
+    power budgets per iteration.
+    """
+    counts = np.asarray(iteration_counts, dtype=np.int64)
+    chips = np.asarray(chip_of_cell, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros((n_chips, 0), dtype=np.int64)
+    last = int(counts.max())
+    # hist[c, k] = cells of chip c finishing exactly at iteration k+1,
+    # flattened so one bincount builds the whole matrix.
+    hist = np.bincount(
+        chips * last + (counts - 1), minlength=n_chips * last
+    ).reshape(n_chips, last)
+    return hist[:, ::-1].cumsum(axis=1)[:, ::-1]
+
+
+class VectorizedKernel(Kernel):
+    name = "vectorized"
+    vectorized = True
+
+    def sample_iterations(
+        self,
+        models: Sequence[WriteLevelModel],
+        target_levels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        target_levels = np.asarray(target_levels)
+        if target_levels.size and target_levels.max(initial=0) >= len(models):
+            raise ConfigError(
+                f"target level {int(target_levels.max())} has no write model"
+            )
+        counts = np.empty(target_levels.size, dtype=np.uint8)
+        for level, model in enumerate(models):
+            mask = target_levels == level
+            n = int(mask.sum())
+            if n:
+                counts[mask] = self._sample_level(model, n, rng)
+        return counts
+
+    def _sample_level(
+        self, model: WriteLevelModel, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if model.fast_fraction <= 0.0 or model.fast_max_iterations <= 0:
+            # Deterministic level (e.g. '00' -> 1 iteration, '11' -> 2).
+            if model.mean_iterations == int(model.mean_iterations):
+                return np.full(n, int(model.mean_iterations), dtype=np.uint8)
+            # Non-integer mean without a mixture: randomized rounding.
+            low = int(np.floor(model.mean_iterations))
+            frac = model.mean_iterations - low
+            return (low + (rng.random(n) < frac)).astype(np.uint8)
+
+        fast = rng.random(n) < model.fast_fraction
+        counts = np.empty(n, dtype=np.float64)
+        # Fast phase: uniform over [1, fast_max_iterations].
+        counts[fast] = rng.integers(
+            1, model.fast_max_iterations + 1, size=int(fast.sum())
+        )
+        # Slow tail: shifted geometric whose mean preserves the overall mean.
+        fast_mean = (1 + model.fast_max_iterations) / 2.0
+        slow_mean = (
+            model.mean_iterations - model.fast_fraction * fast_mean
+        ) / (1.0 - model.fast_fraction)
+        tail_mean = max(1.0, slow_mean - model.fast_max_iterations)
+        p = min(1.0, 1.0 / tail_mean)
+        n_slow = int((~fast).sum())
+        counts[~fast] = model.fast_max_iterations + rng.geometric(p, size=n_slow)
+        return np.minimum(counts, model.max_iterations).astype(np.uint8)
+
+    def plan(
+        self,
+        chip_of_cell: np.ndarray,
+        iteration_counts: np.ndarray,
+        n_chips: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        counts = np.asarray(iteration_counts, dtype=np.int64)
+        if counts.size == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((n_chips, 0), dtype=np.int64),
+            )
+        if counts.min() < 1:
+            raise ConfigError("iteration counts must be >= 1")
+        chip_active = active_cells_per_chip_iteration(
+            chip_of_cell, counts, n_chips
+        )
+        # Column sums of the per-chip matrix are the DIMM-wide counts
+        # (integer arithmetic, so summation order is irrelevant).
+        return chip_active.sum(axis=0), chip_active

@@ -84,9 +84,9 @@ class StateSampler:
         pool = manager.dimm_pool
         self._get("dimm_tokens_allocated").append(now, pool.allocated)
         self._get("dimm_tokens_available").append(now, pool.available)
-        for chip in manager.dimm.chips:
-            self._get(f"chip{chip.chip_id}_lcp_allocated").append(
-                now, chip.allocated
+        for chip_id, allocated in enumerate(manager.chip_allocations()):
+            self._get(f"chip{chip_id}_lcp_allocated").append(
+                now, float(allocated)
             )
         if manager.gcp is not None:
             self._get("gcp_output_in_use").append(

@@ -60,6 +60,28 @@ class LineStore:
             )
         self._lines[line_addr] = data.copy()
 
+    def write_rows(self, line_addrs: np.ndarray, block: np.ndarray) -> None:
+        """Bulk write: row ``i`` of ``block`` becomes line ``addrs[i]``.
+
+        Equivalent to calling :meth:`write` once per row in order (a
+        repeated address keeps the later row), with one shared copy of
+        the block instead of one per line.
+        """
+        block = np.array(block, dtype=np.uint8, copy=True, ndmin=2)
+        addrs = np.asarray(line_addrs, dtype=np.int64)
+        if block.shape[0] != addrs.size or block.shape[1] != self.line_size:
+            raise TraceError(
+                f"block must be {addrs.size} x {self.line_size} bytes, "
+                f"got {block.shape}"
+            )
+        if addrs.size and (addrs % self.line_size).any():
+            raise TraceError(
+                f"addresses must be {self.line_size}-byte aligned"
+            )
+        lines = self._lines
+        for addr, row in zip(addrs.tolist(), block):
+            lines[addr] = row
+
     def write_bytes(self, addr: int, payload: bytes) -> None:
         """Write an arbitrary (possibly unaligned) byte span."""
         data = np.frombuffer(payload, dtype=np.uint8)

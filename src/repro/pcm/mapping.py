@@ -54,6 +54,7 @@ class CellMapping:
             raise MappingError(
                 f"{self.name} mapping is unbalanced: {counts.tolist()}"
             )
+        self._rank_cache: Dict[int, np.ndarray] = {}
 
     def _chip_of(self, cell_index: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -72,6 +73,26 @@ class CellMapping:
         """Number of the given cells living in each chip."""
         chips = self.chip_of(cell_index, offset)
         return np.bincount(chips, minlength=self.n_chips)
+
+    def rank_in_chip(self, offset: int = 0) -> np.ndarray:
+        """Rank of every cell within its chip's cell array.
+
+        ``rank[i]`` is how many lower-indexed cells share cell ``i``'s
+        chip under the given wear-leveling rotation. Mapping and
+        rotation are fixed per DIMM/write, so the vector is cached per
+        offset (offsets are taken modulo ``n_cells``, bounding the
+        cache).
+        """
+        offset = offset % self.n_cells
+        rank = self._rank_cache.get(offset)
+        if rank is None:
+            all_chips = self.chip_of(np.arange(self.n_cells), offset)
+            rank = np.zeros(self.n_cells, dtype=np.int64)
+            for chip in range(self.n_chips):
+                members = np.flatnonzero(all_chips == chip)
+                rank[members] = np.arange(members.size)
+            self._rank_cache[offset] = rank
+        return rank
 
 
 class NaiveMapping(CellMapping):

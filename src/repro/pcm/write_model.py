@@ -10,119 +10,57 @@ form a slow geometric tail tuned so the unclipped mean matches
 
 Iteration counts returned here are *total* iterations including the
 RESET, so a count of 1 means "RESET only" (target level '00').
+
+The sampling strategy itself lives in :mod:`repro.kernel`: the
+reference kernel draws per cell with scalar RNG calls, the vectorized
+kernel draws one batch per level. Both consume the RNG stream
+identically, so the choice never changes the sampled counts. The
+module-level :func:`active_cells_per_iteration` and
+:func:`active_cells_per_chip_iteration` helpers are re-exported from
+the vectorized kernel for historical callers.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
 from ..config.system import PCMConfig, WriteLevelModel
-from ..errors import ConfigError
+from ..kernel import Kernel, get_kernel
+from ..kernel.vectorized import (  # noqa: F401  (re-exported API)
+    active_cells_per_iteration,
+    active_cells_per_chip_iteration,
+)
 
 
 class IterationSampler:
-    """Samples per-cell iteration counts for the changed cells of a write."""
+    """Samples per-cell iteration counts for the changed cells of a write.
 
-    def __init__(self, pcm: PCMConfig):
+    ``kernel`` selects the sampling implementation (a name from
+    :func:`repro.kernel.available_kernels`, a :class:`~repro.kernel.
+    Kernel` instance, or ``None`` for the reference kernel); the drawn
+    counts are identical either way.
+    """
+
+    def __init__(
+        self, pcm: PCMConfig, kernel: Union[str, Kernel, None] = None
+    ):
         self._models: Tuple[WriteLevelModel, ...] = pcm.level_models
         self._max_iterations = pcm.max_iterations
+        self._kernel = get_kernel(kernel)
 
     @property
     def max_iterations(self) -> int:
         return self._max_iterations
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
 
     def sample(
         self, target_levels: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """Iteration counts (>=1) for cells being programmed to
         ``target_levels``."""
-        target_levels = np.asarray(target_levels)
-        if target_levels.size and target_levels.max(initial=0) >= len(self._models):
-            raise ConfigError(
-                f"target level {int(target_levels.max())} has no write model"
-            )
-        counts = np.empty(target_levels.size, dtype=np.uint8)
-        for level, model in enumerate(self._models):
-            mask = target_levels == level
-            n = int(mask.sum())
-            if n:
-                counts[mask] = self._sample_level(model, n, rng)
-        return counts
-
-    def _sample_level(
-        self, model: WriteLevelModel, n: int, rng: np.random.Generator
-    ) -> np.ndarray:
-        if model.fast_fraction <= 0.0 or model.fast_max_iterations <= 0:
-            # Deterministic level (e.g. '00' -> 1 iteration, '11' -> 2).
-            if model.mean_iterations == int(model.mean_iterations):
-                return np.full(n, int(model.mean_iterations), dtype=np.uint8)
-            # Non-integer mean without a mixture: randomized rounding.
-            low = int(np.floor(model.mean_iterations))
-            frac = model.mean_iterations - low
-            return (low + (rng.random(n) < frac)).astype(np.uint8)
-
-        fast = rng.random(n) < model.fast_fraction
-        counts = np.empty(n, dtype=np.float64)
-        # Fast phase: uniform over [1, fast_max_iterations].
-        counts[fast] = rng.integers(
-            1, model.fast_max_iterations + 1, size=int(fast.sum())
-        )
-        # Slow tail: shifted geometric whose mean preserves the overall mean.
-        fast_mean = (1 + model.fast_max_iterations) / 2.0
-        slow_mean = (
-            model.mean_iterations - model.fast_fraction * fast_mean
-        ) / (1.0 - model.fast_fraction)
-        tail_mean = max(1.0, slow_mean - model.fast_max_iterations)
-        p = min(1.0, 1.0 / tail_mean)
-        n_slow = int((~fast).sum())
-        counts[~fast] = model.fast_max_iterations + rng.geometric(p, size=n_slow)
-        return np.minimum(counts, model.max_iterations).astype(np.uint8)
-
-
-def active_cells_per_iteration(
-    iteration_counts: Sequence[int], max_iterations: int
-) -> np.ndarray:
-    """How many cells are still being programmed in each iteration.
-
-    Entry ``k`` (0-based) is the number of cells whose total iteration
-    count is at least ``k+1`` — i.e. the cells drawing power during
-    iteration ``k+1``. Entry 0 therefore equals the number of changed
-    cells (all are RESET in iteration 1).
-
-    >>> active_cells_per_iteration([1, 2, 2, 4], 4)
-    array([4, 3, 1, 1])
-    """
-    counts = np.asarray(iteration_counts, dtype=np.int64)
-    if counts.size == 0:
-        return np.zeros(0, dtype=np.int64)
-    if counts.min() < 1:
-        raise ConfigError("iteration counts must be >= 1")
-    hist = np.bincount(counts, minlength=max_iterations + 1)[1:]
-    # active(k) = number of cells with count >= k = reversed cumulative sum.
-    active = hist[::-1].cumsum()[::-1]
-    last = int(counts.max())
-    return active[:last]
-
-
-def active_cells_per_chip_iteration(
-    chip_of_cell: np.ndarray,
-    iteration_counts: np.ndarray,
-    n_chips: int,
-) -> np.ndarray:
-    """Per-chip active-cell matrix, shape ``(n_chips, max_count)``.
-
-    ``matrix[c, k]`` is how many of chip ``c``'s cells are still being
-    programmed during iteration ``k+1``. Used to enforce chip-level
-    power budgets per iteration.
-    """
-    counts = np.asarray(iteration_counts, dtype=np.int64)
-    chips = np.asarray(chip_of_cell, dtype=np.int64)
-    if counts.size == 0:
-        return np.zeros((n_chips, 0), dtype=np.int64)
-    last = int(counts.max())
-    # hist[c, k] = cells of chip c finishing exactly at iteration k+1.
-    hist = np.zeros((n_chips, last), dtype=np.int64)
-    np.add.at(hist, (chips, counts - 1), 1)
-    return hist[:, ::-1].cumsum(axis=1)[:, ::-1]
+        return self._kernel.sample_iterations(self._models, target_levels, rng)

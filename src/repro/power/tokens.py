@@ -8,6 +8,10 @@ statistics used by the experiments.
 
 from __future__ import annotations
 
+from typing import Sequence, Union
+
+import numpy as np
+
 from ..errors import BudgetExceededError, TokenError
 
 TOKEN_EPS = 1e-9
@@ -91,3 +95,65 @@ class TokenPool:
             f"TokenPool({self.name}, budget={self.budget:.1f}, "
             f"available={self.available:.1f})"
         )
+
+
+class ChipTokenLedger:
+    """Array-based LCP token accounting for all chips of a DIMM at once.
+
+    The vectorized kernel's power manager replaces per-chip
+    :class:`~repro.pcm.chip.PCMChip` bookkeeping with one float64 vector
+    per quantity, so an iteration's feasibility check and commit touch
+    every chip in a handful of array ops. Each elementwise update uses
+    exactly the arithmetic ``PCMChip.allocate`` / ``release`` performs
+    on scalars (``+= max(0, t)`` and ``= max(0, a - t)``), keeping the
+    balances bit-identical to the reference path's.
+    """
+
+    def __init__(self, budgets: Union[Sequence[float], np.ndarray]):
+        self.budget = np.array(budgets, dtype=np.float64)
+        if self.budget.size == 0 or self.budget.min() <= 0:
+            raise TokenError("chip ledger budgets must be positive")
+        self.allocated = np.zeros_like(self.budget)
+
+    @property
+    def n_chips(self) -> int:
+        return int(self.budget.size)
+
+    @property
+    def free(self) -> np.ndarray:
+        return self.budget - self.allocated
+
+    def fits(self, tokens: np.ndarray) -> np.ndarray:
+        """Per-chip ``can_allocate`` as a boolean vector."""
+        return tokens <= self.budget - self.allocated + TOKEN_EPS
+
+    def allocate(self, tokens: np.ndarray, mask: np.ndarray) -> None:
+        """Allocate ``tokens[c]`` on every chip selected by ``mask``.
+
+        Feasibility is the caller's responsibility (the power manager
+        checks :meth:`fits` before committing anything).
+        """
+        self.allocated[mask] += np.maximum(0.0, tokens[mask])
+
+    def allocate_all(self, tokens: np.ndarray) -> None:
+        """Whole-vector allocate for non-negative demands.
+
+        Adding 0.0 on idle chips leaves their balance bit-identical, so
+        this equals the masked form without building a mask.
+        """
+        np.add(self.allocated, tokens, out=self.allocated)
+
+    def release(self, tokens: np.ndarray, mask: np.ndarray) -> None:
+        self.allocated[mask] = np.maximum(
+            0.0, self.allocated[mask] - tokens[mask]
+        )
+
+    def release_held(self, tokens: np.ndarray) -> None:
+        """Whole-vector release of a holding (in place, no temporaries).
+
+        ``max(0, allocated - held)`` elementwise; subtracting 0.0 on
+        idle chips is exact, and ``x - x`` is ``+0.0`` in IEEE-754, so
+        no ``-0.0`` can appear that the scalar path would not produce.
+        """
+        np.subtract(self.allocated, tokens, out=self.allocated)
+        np.maximum(self.allocated, 0.0, out=self.allocated)

@@ -399,6 +399,7 @@ class MemorySystem:
             self.dimm.mapping,
             offset=job.offset,
             truncate_max_cells=self.wt_cells,
+            kernel=self.manager.kernel,
         )
         setattr(write, "_job", job)
         setattr(write, "pause_requested", False)

@@ -7,10 +7,11 @@ under several schemes and is the building block of every experiment.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from ..config.system import SystemConfig
+from ..config.system import SystemConfig, canonical_value
 from ..core.policies.registry import SchemeSpec, get_scheme
 from ..errors import SimulationError, WatchdogError
 from ..pcm.dimm import DIMM
@@ -46,6 +47,28 @@ class SimResult:
                 f"non-positive write throughput in baseline {baseline.scheme}"
             )
         return self.stats.write_throughput / base
+
+    def result_fingerprint(self) -> str:
+        """Canonical digest of everything the run *produced*.
+
+        Covers scheme, workload, cycle count, every statistics counter
+        (raw and derived) and the per-core instruction/finish vectors —
+        but deliberately **excludes the config**, so two runs of the
+        same experiment under different kernels hash equal exactly when
+        they simulated identically. Floats are canonicalized with the
+        same ``%.17g`` round-trip as :func:`repro.config.
+        config_fingerprint`, so equality means bit-equality.
+        """
+        payload = canonical_value((
+            "repro.sim.result",
+            self.scheme,
+            self.workload,
+            int(self.cycles),
+            sorted(self.stats.snapshot().items()),
+            list(self.stats.core_instructions),
+            list(self.stats.core_finish_cycles),
+        ))
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
 def run_simulation(

@@ -48,7 +48,9 @@ log = get_logger("sim.simcache")
 #: Version of the simulator's result-producing code paths. Bump on any
 #: change that can alter a :class:`SimResult` for the same inputs; every
 #: cached fingerprint changes with it, invalidating the whole cache.
-SIM_SCHEMA_VERSION = 1
+#: v2: per-write device RNG streams keyed by (seed, core, write index)
+#: replaced the shared per-core stream, changing every sampled trace.
+SIM_SCHEMA_VERSION = 2
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".simcache"

@@ -61,6 +61,9 @@ def generate_trace(
     cache-resident benchmarks (xalancbmk) terminate.
     """
     seed = config.seed if seed is None else seed
+    # The kernel never changes a trace's bytes, but it is part of the
+    # key so each kernel exercises its own sampling path end to end
+    # (the differential-equivalence suite relies on that).
     key = (
         workload,
         config.caches.l3.size_bytes,
@@ -71,6 +74,7 @@ def generate_trace(
         max_refs_per_core,
         seed,
         prewarm,
+        config.kernel,
     )
     if use_cache and key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
@@ -95,7 +99,7 @@ def _generate(
     n_cores = config.cpu.cores
     if len(benchmarks) != n_cores:
         benchmarks = [benchmarks[i % len(benchmarks)] for i in range(n_cores)]
-    sampler = IterationSampler(config.pcm)
+    sampler = IterationSampler(config.pcm, kernel=config.kernel)
     image = LineStore(line_size)
     pcm_image = LineStore(line_size)
     quota = max(1, math.ceil(n_pcm_writes / n_cores))
@@ -134,14 +138,16 @@ def _generate_core(
     prewarm: bool,
 ) -> Tuple[List[PCMAccess], TraceStats, int]:
     rng = make_rng(seed, "workload", core_id, bench.name)
-    device_rng = make_rng(seed, "device", core_id)
     hierarchy = CoreHierarchy(
         config.caches, core_id,
         fetch_on_write_miss=bench.fetch_on_write_miss,
     )
     base = (core_id + 1) * CORE_ADDR_STRIDE
     if prewarm:
-        _prewarm_l3(hierarchy, image, pcm_image, bench, base, rng)
+        _prewarm_l3(
+            hierarchy, image, pcm_image, bench, base, rng,
+            bulk=sampler.kernel.vectorized,
+        )
 
     stream: List[PCMAccess] = []
     stats = TraceStats()
@@ -168,6 +174,12 @@ def _generate_core(
                 ))
                 stats.reads += 1
             else:
+                # Each write draws from its own RNG stream keyed by
+                # (seed, core, write index): reordering or batching
+                # writes can never shift another write's samples, and
+                # any write's device draws can be re-derived in
+                # isolation.
+                device_rng = make_rng(seed, "device", core_id, stats.writes)
                 record = _make_write(
                     core_id, line_addr, pending_instr, gap_hit,
                     image, pcm_image, bits_per_cell, sampler, device_rng,
@@ -221,6 +233,7 @@ def _prewarm_l3(
     bench,
     base: int,
     rng: np.random.Generator,
+    bulk: bool = False,
 ) -> None:
     """Fill every L3 set to full associativity so evictions reflect
     steady state from the first miss.
@@ -263,12 +276,21 @@ def _prewarm_l3(
     tail_dirty = dirty[:, ways - tail:]
     sets_idx, ways_off = np.nonzero(tail_dirty)
     old_block, new_block = bench.prewarm_line_pairs(rng, sets_idx.size, line_size)
-    for row in range(sets_idx.size):
-        s = int(sets_idx[row])
-        k = ways - tail + int(ways_off[row])
-        abs_line = (base_tag + int(rel_tags[s, k])) * n_sets + s
-        pcm_image.write(abs_line * line_size, old_block[row])
-        image.write(abs_line * line_size, new_block[row])
+    if bulk:
+        # Vectorized kernel: compute every row's address at once and
+        # install both stores with bulk writes. Row order matches the
+        # scalar loop, so duplicate tags resolve identically.
+        tags = rel_tags[sets_idx, ways - tail + ways_off]
+        addrs = ((base_tag + tags) * n_sets + sets_idx) * line_size
+        pcm_image.write_rows(addrs, old_block)
+        image.write_rows(addrs, new_block)
+    else:
+        for row in range(sets_idx.size):
+            s = int(sets_idx[row])
+            k = ways - tail + int(ways_off[row])
+            abs_line = (base_tag + int(rel_tags[s, k])) * n_sets + s
+            pcm_image.write(abs_line * line_size, old_block[row])
+            image.write(abs_line * line_size, new_block[row])
     hierarchy.pending_cycles = 0
 
 
