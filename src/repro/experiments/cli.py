@@ -43,7 +43,14 @@ from ..errors import RunFailedError
 from ..kernel import available_kernels
 from ..obs.logging import get_logger, setup_logging
 from ..sim.simcache import DEFAULT_CACHE_DIR, SimCache
-from .base import DEFAULT, SCALES, RunScale, use_disk_cache, use_telemetry
+from .base import (
+    DEFAULT,
+    QUICK,
+    SCALES,
+    RunScale,
+    use_disk_cache,
+    use_telemetry,
+)
 from .engine import execute_plan
 from .registry import available_experiments, get_experiment, plan_runs
 from .resilience import RetryPolicy
@@ -189,6 +196,101 @@ def build_parser() -> argparse.ArgumentParser:
              "deterministic failures get at most one confirmation "
              "retry before quarantine)",
     )
+
+    golden = sub.add_parser(
+        "golden",
+        help="regenerate or verify the golden-fingerprint corpus",
+        parents=[verbosity],
+    )
+    golden.add_argument(
+        "--path", type=pathlib.Path, default=None, metavar="FILE",
+        help="corpus location (default tests/paper/golden_fingerprints"
+             ".json)",
+    )
+    golden.add_argument(
+        "--check", action="store_true",
+        help="verify the committed corpus instead of regenerating it "
+             "(exit 1 on any drift)",
+    )
+    golden.add_argument(
+        "--sample", type=_positive_int, default=None, metavar="N",
+        help="with --check, verify only a deterministic N-entry sample",
+    )
+    golden.add_argument(
+        "--jobs", type=_jobs, default=1, metavar="N",
+        help="worker processes for the corpus simulations "
+             "(default 1 = serial; 0 = one per CPU)",
+    )
+    golden.add_argument(
+        "--cache-dir", type=pathlib.Path,
+        default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+        help="on-disk run cache directory (default .simcache/)",
+    )
+    golden.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk run cache",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation gateway daemon (HTTP+JSON API)",
+        parents=[verbosity],
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=_non_negative_int, default=8023,
+        help="TCP port (default 8023; 0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs", type=_jobs, default=1, metavar="N",
+        help="engine worker processes serving cold requests "
+             "(default 1; 0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=_positive_int, default=64, metavar="N",
+        help="admission-queue bound; beyond it cold requests get "
+             "429 + Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--batch-max", type=_positive_int, default=16, metavar="N",
+        help="max admitted requests dispatched to the engine as one "
+             "plan (default 16)",
+    )
+    serve.add_argument(
+        "--memory-cache-limit", type=_positive_int, default=4096,
+        metavar="N",
+        help="in-memory result-cache bound; oldest entries are evicted "
+             "past it (default 4096; the disk cache keeps everything)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=pathlib.Path,
+        default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+        help="on-disk run cache directory (default .simcache/)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk run cache",
+    )
+    serve.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a JSON-lines manifest (per-request service records) "
+             "on drain",
+    )
+    serve.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget on engine workers",
+    )
+    serve.add_argument(
+        "--retries", type=_non_negative_int, default=2, metavar="N",
+        help="retries per transiently-failing run (default 2)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=_positive_float, default=30.0,
+        metavar="SECONDS",
+        help="max seconds to finish in-flight work on SIGTERM/SIGINT "
+             "before forcing shutdown (default 30)",
+    )
     return parser
 
 
@@ -235,6 +337,98 @@ def _run_one(exp_id: str, scale: RunScale, config: SystemConfig,
     return text, len(issues)
 
 
+def _golden_main(args) -> int:
+    """``golden``: regenerate or verify the conformance corpus."""
+    from . import golden
+
+    cache = None
+    if not args.no_cache:
+        cache = SimCache(args.cache_dir)
+        use_disk_cache(cache)
+    def prefetch(scale, seed, kernels):
+        if args.jobs <= 1:
+            return
+        requests = [
+            variant
+            for request, _ in golden.corpus_runs(scale, seed=seed)
+            for variant in golden.kernel_requests(request, kernels)
+        ]
+        execute_plan(requests, jobs=args.jobs, policy=RetryPolicy())
+
+    try:
+        if args.check:
+            document = golden.load_corpus(args.path)
+            if not args.sample:
+                prefetch(golden.corpus_scale(document),
+                         int(document["seed"]), document["kernels"])
+            drifts = golden.verify_corpus(
+                document, sample=args.sample,
+                progress=lambda line: log.debug("%s", line))
+            if drifts:
+                for drift in drifts:
+                    log.error("%s", drift)
+                log.error("golden conformance FAILED (%d drift(s)). %s",
+                          len(drifts), golden.REGENERATE_HINT)
+                return EXIT_FAILURE
+            checked = args.sample or len(document["runs"])
+            log.info("golden conformance ok (%d of %d entries, "
+                     "kernels: %s)", checked, len(document["runs"]),
+                     ", ".join(document["kernels"]))
+            return EXIT_OK
+        prefetch(QUICK, 1, available_kernels())
+        document = golden.build_corpus(
+            progress=lambda line: log.info("%s", line))
+        path = golden.write_corpus(document, args.path)
+        log.info("wrote %s (%d runs, kernels: %s, schema v%d)", path,
+                 document["n_runs"], ", ".join(document["kernels"]),
+                 document["sim_schema_version"])
+        return EXIT_OK
+    except golden.GoldenMismatch as exc:
+        log.error("%s", exc)
+        return EXIT_FAILURE
+    finally:
+        use_disk_cache(None)
+
+
+def _serve_main(args) -> int:
+    """``serve``: run the gateway daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from ..service.app import Gateway
+
+    cache = None
+    if not args.no_cache:
+        cache = SimCache(args.cache_dir)
+        use_disk_cache(cache)
+    telemetry = None
+    if args.metrics_out is not None:
+        from ..obs import Telemetry
+        telemetry = Telemetry()
+        use_telemetry(telemetry)
+    gateway = Gateway(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        memory_cache_limit=args.memory_cache_limit,
+        policy=RetryPolicy(max_attempts=args.retries + 1,
+                           run_timeout_s=args.timeout),
+        drain_timeout_s=args.drain_timeout,
+        telemetry=telemetry,
+        manifest_path=args.metrics_out,
+        cache=cache,
+    )
+    try:
+        asyncio.run(gateway.serve(install_signals=True))
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+    finally:
+        use_telemetry(None)
+        use_disk_cache(None)
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))
@@ -243,6 +437,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             exp = get_experiment(exp_id)
             log.info("%-6s %s", exp_id, exp.title)
         return 0
+    if args.command == "golden":
+        return _golden_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
 
     scale = SCALES[args.scale]
     requested = [exp_id.lower() for exp_id in args.experiment]

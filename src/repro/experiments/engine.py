@@ -465,6 +465,7 @@ def execute_plan(
     *,
     max_pending: Optional[int] = None,
     policy: Optional[RetryPolicy] = None,
+    force: bool = False,
 ) -> Dict[str, object]:
     """Warm the run caches for ``requests`` using ``jobs`` workers.
 
@@ -480,7 +481,11 @@ def execute_plan(
 
     With ``jobs <= 1`` nothing is prefetched (the serial lazy path in
     :func:`repro.experiments.base.sim` is already optimal) — only the
-    dedupe/disk-probe bookkeeping runs.
+    dedupe/disk-probe bookkeeping runs. Pass ``force=True`` to execute
+    the pending runs even then, on a single supervised worker process —
+    callers like the service gateway need the engine's failure
+    supervision (retries, watchdog, crash containment) regardless of
+    parallelism.
 
     ``KeyboardInterrupt`` propagates after the pool is torn down and
     ``summary["interrupted"]`` is set — every already-computed result
@@ -521,9 +526,10 @@ def execute_plan(
                 continue
         pending.append(request)
 
-    if jobs <= 1 or not pending:
+    if not pending or (jobs <= 1 and not force):
         return summary
 
+    jobs = max(jobs, 1)
     n_workers = min(jobs, len(pending))
     # Bound the submission queue so a huge plan doesn't hold every
     # pickled config in flight at once.

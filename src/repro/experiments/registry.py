@@ -64,6 +64,19 @@ def available_experiments() -> Tuple[str, ...]:
     return tuple(_EXPERIMENTS)
 
 
+def describe_experiments() -> List[Dict[str, str]]:
+    """Wire-friendly metadata for every registered experiment (the
+    service gateway's ``GET /experiments`` payload)."""
+    return [
+        {
+            "exp_id": exp_id,
+            "title": cls.title,
+            "paper_claim": cls.paper_claim,
+        }
+        for exp_id, cls in _EXPERIMENTS.items()
+    ]
+
+
 def plan_runs(exp_ids: Iterable[str], config: SystemConfig,
               scale: RunScale) -> List[RunRequest]:
     """The union of the named experiments' declared run sets, in

@@ -28,7 +28,13 @@ backoff delay), ``run_failure`` (a run failing permanently),
 ``pool_respawn`` (a broken or abandoned worker pool being rebuilt),
 and a ``plan_summary`` aggregating the engine's counters.
 
-See docs/observability.md for the full schema.
+The service gateway (v4) adds ``service_request`` (one per HTTP request
+against a simulation endpoint: method, path, status, wall time, error
+code), ``service_summary`` (request counts by status) and
+``service_state`` (the gateway's final operational snapshot: queue,
+coalescing and cache state at drain).
+
+See docs/observability.md and docs/service.md for the full schema.
 """
 
 from __future__ import annotations
@@ -46,7 +52,9 @@ from typing import Dict, Iterable, List, Optional, Union
 #: v3: failure-supervision records — ``run_failure``, ``retry``,
 #: ``quarantine``, ``pool_respawn`` — plus the ``plan_summary``
 #: aggregate written by the CLI.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: service-gateway records — ``service_request``,
+#: ``service_summary``, ``service_state``.
+MANIFEST_SCHEMA_VERSION = 4
 
 
 def _jsonable(value):

@@ -64,6 +64,9 @@ class Telemetry:
         #: Failure-supervision records (``run_failure`` / ``retry`` /
         #: ``quarantine`` / ``pool_respawn``), in event order.
         self.resilience_events: List[Dict[str, object]] = []
+        #: ``service_request`` manifest records: one per gateway request
+        #: against a simulation endpoint (``/run``, ``/experiment``).
+        self.service_requests: List[Dict[str, object]] = []
         #: The engine's ``execute_plan`` summary, written to the
         #: manifest as a ``plan_summary`` record when set by the CLI.
         self.plan_summary: Optional[Dict[str, object]] = None
@@ -251,6 +254,20 @@ class Telemetry:
             "error": error,
         })
 
+    def record_service_request(self, *, method: str, path: str,
+                               status: int, wall_ms: float,
+                               error: Optional[str] = None) -> None:
+        """Record one gateway request against a simulation endpoint
+        (manifest ``service_request`` record, schema v4)."""
+        self.service_requests.append({
+            "type": "service_request",
+            "method": method,
+            "path": path,
+            "status": status,
+            "wall_ms": round(wall_ms, 3),
+            "error": error,
+        })
+
     def _require_run(self) -> _RunContext:
         if self._run is None:
             raise RuntimeError("telemetry is not attached to a run")
@@ -379,9 +396,11 @@ class Telemetry:
     def write_manifest(self, path, config=None, *,
                        seed: Optional[int] = None,
                        scale: Optional[str] = None,
+                       service: Optional[Dict[str, object]] = None,
                        **context) -> ManifestWriter:
         """Write header + per-run records + the full metrics snapshot
-        as JSON-lines."""
+        as JSON-lines. ``service``, when given, is the gateway's final
+        operational snapshot (``service_state`` record, schema v4)."""
         writer = ManifestWriter(path)
         if config is not None:
             writer.append(run_header(config, seed=seed, scale=scale,
@@ -389,6 +408,7 @@ class Telemetry:
         writer.extend(self.runs)
         writer.extend(self.sim_requests)
         writer.extend(self.resilience_events)
+        writer.extend(self.service_requests)
         if self.plan_summary is not None:
             writer.append({"type": "plan_summary", **self.plan_summary})
         if self.sim_requests:
@@ -403,6 +423,18 @@ class Telemetry:
                 "hits": hits,
                 "by_source": by_source,
             })
+        if self.service_requests:
+            by_status: Dict[str, int] = {}
+            for request in self.service_requests:
+                key = str(request["status"])
+                by_status[key] = by_status.get(key, 0) + 1
+            writer.append({
+                "type": "service_summary",
+                "requests": len(self.service_requests),
+                "by_status": by_status,
+            })
+        if service is not None:
+            writer.append({"type": "service_state", **service})
         writer.append({
             "type": "metrics_snapshot",
             "metrics": self.registry.snapshot(),

@@ -1,0 +1,41 @@
+"""Simulation-as-a-service gateway.
+
+A long-lived asyncio daemon (``python -m repro.experiments serve``)
+that accepts simulation and experiment requests over local HTTP+JSON,
+normalizes them to canonical cache fingerprints, coalesces concurrent
+requests for the same run, and dispatches cold work through the
+fault-tolerant parallel engine behind a bounded admission queue.
+
+See docs/service.md for the API and operational semantics.
+"""
+
+from .admission import AdmissionQueue
+from .app import Gateway
+from .client import GatewayClient
+from .coalescer import Coalescer, Lease
+from .schemas import (
+    BusyError,
+    DrainingError,
+    ExperimentRequest,
+    InvalidRequestError,
+    RunExecutionError,
+    ServiceError,
+    SimRequest,
+    SimResponse,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BusyError",
+    "Coalescer",
+    "DrainingError",
+    "ExperimentRequest",
+    "Gateway",
+    "GatewayClient",
+    "InvalidRequestError",
+    "Lease",
+    "RunExecutionError",
+    "ServiceError",
+    "SimRequest",
+    "SimResponse",
+]

@@ -1,0 +1,123 @@
+"""Bounded admission with backpressure and a Retry-After estimate.
+
+Cold fingerprints (not in any cache, not already in flight) must pass
+the admission queue before they reach the engine. The queue is bounded:
+past ``limit`` pending entries the gateway answers ``429`` with a
+``Retry-After`` derived from the current backlog and an exponentially
+weighted moving average of recent per-run service times — the honest
+"come back when a slot is plausible" rather than a constant.
+
+Like the coalescer, the queue is single-loop: ``offer``/``take`` run on
+the event-loop thread (``take`` is the only awaiting side, used by the
+dispatcher). Closing the queue wakes the dispatcher with ``None`` after
+the backlog drains, which is how graceful drain sequences: stop
+admitting → finish backlog → resolve stragglers → exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from .schemas import BusyError, DrainingError
+
+#: Service-time prior (seconds) used until the first run completes.
+DEFAULT_RUN_SECONDS = 2.0
+
+#: EWMA smoothing for observed per-run service times.
+EWMA_ALPHA = 0.3
+
+
+class AdmissionQueue:
+    """Bounded FIFO of admitted work items with service-time tracking."""
+
+    def __init__(self, limit: int, workers: int = 1):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.workers = max(1, workers)
+        self._items: Deque[object] = deque()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self.admitted = 0
+        self.rejected = 0
+        self.ewma_run_s = DEFAULT_RUN_SECONDS
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def retry_after_s(self) -> int:
+        """Whole seconds until a queue slot is plausibly free: the
+        backlog's estimated drain time across the worker pool, at least
+        one second so clients never busy-spin."""
+        backlog = len(self._items) + 1  # plus the run likely executing
+        estimate = backlog * self.ewma_run_s / self.workers
+        return max(1, int(math.ceil(estimate)))
+
+    def offer(self, item: object) -> None:
+        """Admit ``item`` or raise the structured backpressure error.
+
+        Raises :class:`DrainingError` once closed and
+        :class:`BusyError` (with the Retry-After estimate) when full.
+        """
+        if self._closed:
+            raise DrainingError("gateway is draining; not admitting "
+                                "new work")
+        if len(self._items) >= self.limit:
+            self.rejected += 1
+            raise BusyError(
+                f"admission queue full ({self.limit} pending cold "
+                f"requests)", retry_after_s=self.retry_after_s(),
+                queue_depth=len(self._items), queue_limit=self.limit)
+        self._items.append(item)
+        self.admitted += 1
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+        self._wakeup.set()
+
+    async def take(self) -> Optional[object]:
+        """Next admitted item, waiting if the queue is empty; ``None``
+        once the queue is closed *and* drained (dispatcher exit)."""
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def drain_now(self, limit: int) -> list:
+        """Up to ``limit`` more items without waiting (batch top-up)."""
+        batch = []
+        while self._items and len(batch) < limit:
+            batch.append(self._items.popleft())
+        return batch
+
+    def observe_run_seconds(self, seconds: float) -> None:
+        """Fold one completed run's service time into the EWMA."""
+        if seconds <= 0:
+            return
+        self.ewma_run_s += EWMA_ALPHA * (seconds - self.ewma_run_s)
+
+    def close(self) -> None:
+        """Stop admitting; wake the dispatcher so it can drain + exit."""
+        self._closed = True
+        self._wakeup.set()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "depth": len(self._items),
+            "limit": self.limit,
+            "peak_depth": self.peak_depth,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "ewma_run_s": round(self.ewma_run_s, 3),
+            "closed": self._closed,
+        }

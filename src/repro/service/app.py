@@ -1,0 +1,588 @@
+"""The simulation gateway: a long-lived asyncio daemon that multiplexes
+concurrent simulation/experiment requests over the bounded engine.
+
+Request lifecycle (``POST /run``)::
+
+    JSON body ──validate──▶ SimRequest ──normalize──▶ RunRequest
+        │                                                 │
+        │                              canonical fingerprint (SimCache key)
+        ▼                                                 ▼
+    hot?  ──── in-memory cache hit ────────────▶ 200 source="memory"
+    cold ──▶ Coalescer.lease ──┬─ follower ──▶ await shared future
+                               └─ leader ──▶ AdmissionQueue.offer
+                                               │        │
+                                     queue full┘        ▼
+                                     429+Retry-After   dispatcher batch
+                                     (all waiters)      │
+                                               execute_plan (supervised
+                                               engine: retries, watchdog,
+                                               crash containment)
+                                                        │
+                                      resolve/reject every waiter with
+                                      the result or one structured error
+
+The dispatcher is a single task pulling admitted work in batches, so
+concurrent cold requests for *different* fingerprints still share one
+engine plan (one pool spin-up, cross-request dedupe) while concurrent
+requests for the *same* fingerprint never reach the engine twice.
+
+Shutdown: SIGTERM/SIGINT (or :meth:`Gateway.request_drain`) stops
+admission (new work gets 503), lets the dispatcher finish the backlog,
+bounded by ``drain_timeout_s``, then resolves stragglers with a
+structured drain error — a connection is never left hanging — and
+finally writes the run manifest when one was requested.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.base import (
+    RunRequest,
+    _SIM_CACHE,
+    active_disk_cache,
+    failed_runs,
+)
+from ..experiments.engine import dedupe_requests, execute_plan
+from ..experiments.registry import describe_experiments, get_experiment
+from ..experiments.resilience import RetryPolicy
+from ..obs.logging import get_logger
+from ..obs.manifest import config_to_dict
+from ..obs.metrics import MetricsRegistry
+from .admission import AdmissionQueue
+from .coalescer import Coalescer, Lease
+from .schemas import (
+    DrainingError,
+    ExperimentRequest,
+    InvalidRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServiceError,
+    SimRequest,
+    SimResponse,
+    run_failure_error,
+)
+
+log = get_logger("service")
+
+#: Largest accepted request body; the API's payloads are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+#: Per-connection header/body read timeout (slowloris guard).
+READ_TIMEOUT_S = 30.0
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _Work:
+    """One admitted cold fingerprint awaiting dispatch."""
+
+    __slots__ = ("request", "fingerprint")
+
+    def __init__(self, request: RunRequest):
+        self.request = request
+        self.fingerprint = request.fingerprint
+
+
+class Gateway:
+    """The HTTP+JSON simulation gateway (``python -m repro.experiments
+    serve``); also embeddable in-process for tests via :meth:`start` /
+    :meth:`stop`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 jobs: int = 1, queue_limit: int = 64, batch_max: int = 16,
+                 memory_cache_limit: int = 4096,
+                 policy: Optional[RetryPolicy] = None,
+                 drain_timeout_s: float = 30.0,
+                 telemetry=None, manifest_path=None, cache=None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.batch_max = max(1, batch_max)
+        self.memory_cache_limit = memory_cache_limit
+        self.policy = policy or RetryPolicy()
+        self.drain_timeout_s = drain_timeout_s
+        self.telemetry = telemetry
+        self.manifest_path = manifest_path
+        self.cache = cache
+
+        self.coalescer = Coalescer()
+        self.admission = AdmissionQueue(queue_limit, workers=self.jobs)
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._drain_requested = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+        self.registry = registry if registry is not None else (
+            telemetry.registry if telemetry is not None
+            else MetricsRegistry())
+        reg = self.registry
+        self._c_requests = reg.counter(
+            "service_requests_total", "HTTP requests received")
+        self._c_ok = reg.counter(
+            "service_responses_ok", "2xx responses")
+        self._c_error = reg.counter(
+            "service_responses_error", "non-2xx responses")
+        self._c_invalid = reg.counter(
+            "service_rejected_invalid", "400 invalid requests")
+        self._c_busy = reg.counter(
+            "service_rejected_busy", "429 backpressure rejections")
+        self._c_coalesced = reg.counter(
+            "service_coalesced_total",
+            "requests that shared an in-flight run")
+        self._c_hit_memory = reg.counter(
+            "service_hits_memory", "runs served from the in-memory cache")
+        self._c_hit_disk = reg.counter(
+            "service_hits_disk", "runs served from the on-disk cache")
+        self._c_computed = reg.counter(
+            "service_runs_computed", "runs computed by the engine")
+        self._c_run_failed = reg.counter(
+            "service_runs_failed", "runs that failed under supervision")
+        self._c_batches = reg.counter(
+            "service_batches", "engine dispatch batches")
+        self._g_queue = reg.gauge(
+            "service_queue_depth", "admission-queue depth")
+        self._g_inflight = reg.gauge(
+            "service_inflight", "in-flight coalesced fingerprints")
+        self._g_draining = reg.gauge(
+            "service_draining", "1 while draining")
+        self._h_wall = reg.histogram(
+            "service_request_wall_ms", "request wall time (ms)")
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    async def start(self) -> Tuple[str, int]:
+        """Bind the server and start the dispatcher; returns the bound
+        (host, port) — with ``port=0`` the ephemeral port chosen."""
+        self._loop = asyncio.get_running_loop()
+        self.started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+        log.info("gateway listening on http://%s:%d (jobs=%d, "
+                 "queue-limit=%d)", self.host, self.port, self.jobs,
+                 self.admission.limit)
+        return self.host, self.port
+
+    async def serve(self, install_signals: bool = False) -> None:
+        """Run until drain is requested (SIGTERM/SIGINT when
+        ``install_signals``), then shut down gracefully."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.request_drain,
+                                            signal.Signals(sig).name)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without support
+        await self._drain_requested.wait()
+        await self._shutdown()
+
+    def request_drain(self, reason: str = "drain requested") -> None:
+        """Begin graceful drain: stop admitting, finish in-flight work.
+        Idempotent; thread-safe via ``call_soon_threadsafe`` when called
+        off-loop."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is not loop:
+                loop.call_soon_threadsafe(self._begin_drain, reason)
+                return
+        self._begin_drain(reason)
+
+    def _begin_drain(self, reason: str) -> None:
+        if self.draining:
+            return
+        self.draining = True
+        self._g_draining.set(1)
+        log.info("draining (%s): %d queued, %d in flight", reason,
+                 len(self.admission), len(self.coalescer))
+        self.admission.close()
+        self._drain_requested.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        if self._dispatcher is not None:
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._dispatcher),
+                    timeout=self.drain_timeout_s)
+            except asyncio.TimeoutError:
+                log.warning("drain timeout (%.1fs): cancelling the "
+                            "dispatcher, failing %d in-flight run(s)",
+                            self.drain_timeout_s, len(self.coalescer))
+                self._dispatcher.cancel()
+                try:
+                    await self._dispatcher
+                except (asyncio.CancelledError, Exception):
+                    pass
+        # Safety net: nobody may be left awaiting a dead future.
+        stranded = self.coalescer.abort_all(
+            lambda key: DrainingError(
+                "gateway shut down before this run executed",
+                fingerprint=key))
+        if stranded:
+            log.warning("drain: aborted %d in-flight run(s)", stranded)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._write_manifest()
+        log.info("gateway stopped")
+
+    async def stop(self) -> None:
+        """Drain and shut down (in-process embedding helper)."""
+        self.request_drain("stop() called")
+        await self._shutdown()
+
+    def _write_manifest(self) -> None:
+        if self.telemetry is None or self.manifest_path is None:
+            return
+        self.telemetry.write_manifest(
+            self.manifest_path, None,
+            service=self.snapshot(),
+        )
+        log.info("wrote service manifest: %s", self.manifest_path)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Operational state for ``/healthz`` and the manifest."""
+        return {
+            "status": "draining" if self.draining else "serving",
+            "uptime_s": (time.monotonic() - self.started_at
+                         if self.started_at is not None else 0.0),
+            "jobs": self.jobs,
+            "queue": self.admission.snapshot(),
+            "coalescing": self.coalescer.snapshot(),
+            "memory_cache_entries": len(_SIM_CACHE),
+            "memory_cache_limit": self.memory_cache_limit,
+            "disk_cache": (self.cache.snapshot()
+                           if self.cache is not None else None),
+        }
+
+    # ==================================================================
+    # Dispatcher: admitted work -> supervised engine -> waiters
+    # ==================================================================
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self.admission.take()
+            self._g_queue.set(len(self.admission))
+            if first is None:
+                return  # closed and drained
+            batch: List[_Work] = [first]
+            batch.extend(self.admission.drain_now(self.batch_max - 1))
+            self._g_queue.set(len(self.admission))
+            self._c_batches.inc()
+            started = time.monotonic()
+            try:
+                outcomes = await asyncio.to_thread(
+                    self._execute_batch, [work.request for work in batch])
+            except BaseException as exc:  # engine blew past supervision
+                log.error("dispatch batch failed wholesale: %s: %s",
+                          type(exc).__name__, exc)
+                for work in batch:
+                    self.coalescer.reject(work.fingerprint, ServiceError(
+                        f"engine dispatch failed: "
+                        f"{type(exc).__name__}: {exc}"))
+                    self._c_run_failed.inc()
+                self._g_inflight.set(len(self.coalescer))
+                continue
+            elapsed = time.monotonic() - started
+            computed = sum(
+                1 for _, source in outcomes.values() if source == "computed")
+            if computed:
+                self.admission.observe_run_seconds(elapsed / computed)
+            for work in batch:
+                result, source = outcomes[work.fingerprint]
+                if source == "failed":
+                    self._c_run_failed.inc()
+                    self.coalescer.reject(
+                        work.fingerprint,
+                        run_failure_error(work.fingerprint, str(result)))
+                else:
+                    if source == "disk":
+                        self._c_hit_disk.inc()
+                    else:
+                        self._c_computed.inc()
+                    self.coalescer.resolve(work.fingerprint,
+                                           (result, source))
+            self._g_inflight.set(len(self.coalescer))
+            self._trim_sim_cache()
+
+    def _execute_batch(self, requests: List[RunRequest]) -> Dict[
+            str, Tuple[object, str]]:
+        """Worker-thread half of a dispatch: run the supervised engine
+        over the batch and report each fingerprint's outcome as
+        ``(result, source)`` or ``(error message, "failed")``."""
+        disk = active_disk_cache()
+        on_disk = {
+            request.fingerprint
+            for request in requests
+            if disk is not None and request.fingerprint in disk
+        }
+        execute_plan(requests, jobs=self.jobs, policy=self.policy,
+                     force=True)
+        failures = failed_runs()
+        outcomes: Dict[str, Tuple[object, str]] = {}
+        for request in requests:
+            key = request.fingerprint
+            result = _SIM_CACHE.get(key)
+            if result is not None:
+                outcomes[key] = (
+                    result, "disk" if key in on_disk else "computed")
+            elif key in failures:
+                outcomes[key] = (failures[key], "failed")
+            else:
+                outcomes[key] = (
+                    "run neither completed nor failed (engine aborted "
+                    "or interrupted)", "failed")
+        return outcomes
+
+    def _trim_sim_cache(self) -> None:
+        """Bound the long-lived daemon's in-memory result cache by
+        evicting oldest-inserted entries (dict order); the disk cache,
+        when installed, still holds everything evicted."""
+        excess = len(_SIM_CACHE) - self.memory_cache_limit
+        if excess <= 0:
+            return
+        for key in list(_SIM_CACHE)[:excess]:
+            del _SIM_CACHE[key]
+        log.debug("evicted %d in-memory results (limit %d)", excess,
+                  self.memory_cache_limit)
+
+    # ==================================================================
+    # Request handling
+    # ==================================================================
+    async def _resolve_run(self, request: RunRequest) -> Tuple[object, str]:
+        """Resolve one canonical run through hot-cache → coalescer →
+        admission; returns ``(SimResult, source)`` or raises a
+        :class:`ServiceError`."""
+        fingerprint = request.fingerprint
+        result = _SIM_CACHE.get(fingerprint)
+        if result is not None:
+            self._c_hit_memory.inc()
+            return result, "memory"
+        if self.draining:
+            raise DrainingError("gateway is draining; not admitting "
+                                "new work")
+        lease = self.coalescer.lease(fingerprint)
+        if lease.leader:
+            # No await between lease() and offer(): on rejection the
+            # entry retracts before any follower can join it.
+            try:
+                self.admission.offer(_Work(request))
+            except ServiceError:
+                self.coalescer.retract(lease)
+                raise
+            self._g_queue.set(len(self.admission))
+            self._g_inflight.set(len(self.coalescer))
+        else:
+            self._c_coalesced.inc()
+        result, source = await lease.wait()
+        return result, (source if lease.leader else "coalesced")
+
+    async def _handle_run(self, body: object) -> Dict[str, object]:
+        sim_request = SimRequest.from_wire(body)
+        request = sim_request.to_run_request()
+        result, source = await self._resolve_run(request)
+        return SimResponse(sim_request, request.fingerprint, source,
+                           result).to_wire()
+
+    async def _handle_experiment(self, body: object) -> Dict[str, object]:
+        exp_request = ExperimentRequest.from_wire(body)
+        experiment = get_experiment(exp_request.exp_id)
+        config = exp_request.config()
+        scale = exp_request.scale
+        plan = dedupe_requests(experiment.plan(config, scale))
+        sources: Dict[str, int] = {}
+        waits = [self._resolve_run(request) for request in plan]
+        for resolved in await asyncio.gather(*waits):
+            _, source = resolved
+            sources[source] = sources.get(source, 0) + 1
+        result = await asyncio.to_thread(experiment, config, scale)
+        return {
+            "experiment": result.exp_id,
+            "title": result.title,
+            "scale": scale.name,
+            "seed": exp_request.seed,
+            "columns": result.columns,
+            "rows": config_to_dict(result.rows),
+            "paper_claim": result.paper_claim,
+            "elapsed_seconds": result.elapsed_seconds,
+            "planned_runs": {"total": len(plan), "by_source": sources},
+        }
+
+    def _handle_healthz(self) -> Dict[str, object]:
+        return self.snapshot()
+
+    def _handle_metrics(self) -> Dict[str, object]:
+        return {"metrics": self.registry.snapshot()}
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, object],
+                                           Dict[str, str]]:
+        routes = {
+            "/healthz": ("GET", lambda b: self._handle_healthz()),
+            "/metrics": ("GET", lambda b: self._handle_metrics()),
+            "/experiments": ("GET", lambda b: {
+                "experiments": describe_experiments()}),
+            "/run": ("POST", self._handle_run),
+            "/experiment": ("POST", self._handle_experiment),
+        }
+        route = routes.get(path)
+        if route is None:
+            raise NotFoundError(f"no such endpoint {path!r}",
+                                endpoints=sorted(routes))
+        expected_method, handler = route
+        if method != expected_method:
+            raise MethodNotAllowedError(
+                f"{path} only accepts {expected_method}",
+                allowed=expected_method)
+        if expected_method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise InvalidRequestError(
+                    f"request body is not valid JSON: {exc}") from None
+            response = await handler(payload)
+        else:
+            response = handler(body)
+        return 200, response, {}
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        started = time.monotonic()
+        status = 500
+        record: Dict[str, object] = {}
+        try:
+            method, path, body = await asyncio.wait_for(
+                self._read_request(reader), timeout=READ_TIMEOUT_S)
+            self._c_requests.inc()
+            record = {"method": method, "path": path}
+            try:
+                status, payload, headers = await self._route(
+                    method, path, body)
+            except ServiceError as exc:
+                status, payload, headers = exc.status, exc.to_wire(), {}
+                if exc.status == 429:
+                    self._c_busy.inc()
+                    headers["Retry-After"] = str(
+                        exc.detail.get("retry_after_s", 1))
+                elif exc.status == 400:
+                    self._c_invalid.inc()
+                record["error"] = exc.code
+            if 200 <= status < 300:
+                self._c_ok.inc()
+            else:
+                self._c_error.inc()
+            await self._write_response(writer, status, payload, headers)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, _BadRequest) as exc:
+            status = getattr(exc, "status", 400)
+            try:
+                await self._write_response(
+                    writer, status,
+                    {"error": {"code": "bad_http", "message": str(exc),
+                               "retryable": False}}, {})
+            except (ConnectionError, RuntimeError):
+                pass
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never leak a traceback as a hang
+            log.error("request handler crashed: %s: %s",
+                      type(exc).__name__, exc)
+            try:
+                await self._write_response(
+                    writer, 500,
+                    {"error": {"code": "internal",
+                               "message": f"{type(exc).__name__}: {exc}",
+                               "retryable": False}}, {})
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            wall_ms = (time.monotonic() - started) * 1000.0
+            self._h_wall.observe(wall_ms)
+            if self.telemetry is not None and record.get("path") in (
+                    "/run", "/experiment"):
+                self.telemetry.record_service_request(
+                    method=str(record.get("method", "?")),
+                    path=str(record.get("path", "?")),
+                    status=status, wall_ms=wall_ms,
+                    error=record.get("error"),
+                )
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader,
+                            ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode(
+            "latin-1", "replace").strip()
+        if not request_line:
+            raise _BadRequest("empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest("unparseable Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} "
+                f"byte limit", status=413)
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              payload: Dict[str, object],
+                              headers: Dict[str, str]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing (pre-routing)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,147 @@
+"""Request coalescing: N concurrent requests, one underlying run.
+
+The gateway's analogue of the paper's token accounting: simulation
+capacity is the scarce shared resource, and the coalescer makes sure no
+two requesters ever spend it on the same canonical fingerprint at the
+same time. The first requester of a fingerprint becomes the *leader*
+and is admitted to the engine; everyone who arrives while that run is
+in flight becomes a *follower* and shares the leader's future.
+
+Correctness properties (proven by ``tests/property/test_prop_service``):
+
+* **Never double-runs.** At most one in-flight entry exists per
+  fingerprint; a fingerprint is only re-admittable after its entry
+  resolves (by then the result is cached, so a re-request is a cache
+  hit, not a re-run).
+* **Never cross-wires.** A waiter's future is bound to its fingerprint
+  at lease time and resolved exactly once, with that fingerprint's
+  result or error.
+* **Bounded memory.** The map holds only in-flight fingerprints;
+  resolution removes the entry immediately. ``peak_inflight`` records
+  the high-water mark so tests (and ``/healthz``) can assert the bound.
+* **Failures fan out, never strand.** ``reject`` delivers the same
+  structured error to every waiter; ``abort_all`` (drain/shutdown)
+  guarantees nobody is left awaiting a future that will never resolve.
+
+Single-loop discipline: all methods must be called from the event-loop
+thread. Waiters must await through :meth:`Lease.wait`, which shields
+the shared future so one cancelled client (disconnect) cannot cancel
+the run for the others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass
+class _Entry:
+    future: "asyncio.Future"
+    waiters: int = 1
+
+
+@dataclass
+class Lease:
+    """One requester's claim on an in-flight fingerprint."""
+
+    key: str
+    future: "asyncio.Future"
+    leader: bool
+
+    async def wait(self):
+        """Await the shared result; shielded so cancelling this waiter
+        (a dropped connection) never cancels the underlying run or the
+        other waiters."""
+        return await asyncio.shield(self.future)
+
+
+class Coalescer:
+    """In-flight run registry keyed by canonical fingerprint."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, _Entry] = {}
+        #: Total leases handed out, split by role.
+        self.leaders = 0
+        self.followers = 0
+        #: High-water mark of the in-flight map (memory-bound witness).
+        self.peak_inflight = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inflight
+
+    def lease(self, key: str,
+              loop: Optional[asyncio.AbstractEventLoop] = None) -> Lease:
+        """Join the in-flight run for ``key``, or open one.
+
+        Returns a :class:`Lease`; ``lease.leader`` tells the caller
+        whether it must arrange execution (admit to the engine) or just
+        wait. Lease-then-admit must happen without an intervening
+        ``await`` so a leader that fails admission can retract the entry
+        before any follower can join (see :meth:`retract`).
+        """
+        entry = self._inflight.get(key)
+        if entry is not None:
+            entry.waiters += 1
+            self.followers += 1
+            return Lease(key, entry.future, leader=False)
+        future = (loop or asyncio.get_event_loop()).create_future()
+        self._inflight[key] = _Entry(future)
+        self.leaders += 1
+        if len(self._inflight) > self.peak_inflight:
+            self.peak_inflight = len(self._inflight)
+        return Lease(key, future, leader=True)
+
+    def waiters(self, key: str) -> int:
+        entry = self._inflight.get(key)
+        return entry.waiters if entry is not None else 0
+
+    def resolve(self, key: str, result: object) -> int:
+        """Deliver ``result`` to every waiter of ``key``; returns how
+        many there were. Unknown/already-resolved keys are a no-op
+        (idempotent against late engine callbacks)."""
+        entry = self._inflight.pop(key, None)
+        if entry is None or entry.future.done():
+            return 0
+        entry.future.set_result(result)
+        return entry.waiters
+
+    def reject(self, key: str, error: BaseException) -> int:
+        """Deliver the same ``error`` to every waiter of ``key``."""
+        entry = self._inflight.pop(key, None)
+        if entry is None or entry.future.done():
+            return 0
+        entry.future.set_exception(error)
+        return entry.waiters
+
+    def retract(self, lease: Lease) -> None:
+        """Undo a leader's lease that could not be admitted (queue
+        full). Must be called before any ``await`` since the lease was
+        taken — the no-await discipline in :meth:`lease` guarantees no
+        follower has joined yet, so nobody is stranded."""
+        if not lease.leader:
+            raise ValueError("only a leader's lease can be retracted")
+        entry = self._inflight.get(lease.key)
+        if entry is not None and entry.future is lease.future:
+            del self._inflight[lease.key]
+
+    def abort_all(self, error_factory: Callable[[str], BaseException]) -> int:
+        """Reject every in-flight entry (drain/shutdown): each key's
+        waiters get ``error_factory(key)``. Returns entries aborted."""
+        aborted = 0
+        for key in list(self._inflight):
+            if self.reject(key, error_factory(key)):
+                aborted += 1
+        return aborted
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "inflight": len(self._inflight),
+            "peak_inflight": self.peak_inflight,
+            "leaders": self.leaders,
+            "followers": self.followers,
+        }

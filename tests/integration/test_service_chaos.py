@@ -1,0 +1,172 @@
+"""Chaos tests for the service path.
+
+The gateway inherits the engine's failure supervision; these tests
+prove the *service* half of the contract with injected faults
+(:mod:`repro.testing.faults`, delivered to engine workers through the
+``REPRO_FAULTS`` environment):
+
+* a worker hard-crashing mid-coalesced-run fails **every** waiter with
+  the **same** structured ``run_failed`` error — nobody hangs, nobody
+  gets a different story, and innocent concurrent fingerprints still
+  complete;
+* a hung run is reaped by the engine watchdog and surfaces the same
+  way — the connection never dangles;
+* a failure is not sticky: once the fault is gone, re-requesting the
+  fingerprint computes cleanly (the engine re-plans failed runs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.base import (
+    clear_failed_runs,
+    clear_sim_cache,
+    use_disk_cache,
+)
+from repro.experiments.resilience import RetryPolicy
+from repro.service.schemas import SimRequest
+from repro.service.testing import GatewayHarness
+from repro.testing.faults import ENV_VAR, clear_faults
+
+from .test_service_gateway import raw_request, run_fields
+
+#: How many concurrent waiters share the doomed run.
+WAITERS = 5
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+    yield
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+
+
+def fingerprint_of(fields) -> str:
+    return SimRequest.from_wire(fields).to_run_request().fingerprint
+
+
+def fast_policy(**overrides) -> RetryPolicy:
+    defaults = dict(max_attempts=1, deterministic_attempts=1,
+                    backoff_base_s=0.01, backoff_cap_s=0.05,
+                    max_pool_respawns=6)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def test_worker_crash_fails_all_coalesced_waiters(monkeypatch):
+    """Five requests coalesce onto one run whose worker hard-crashes on
+    every attempt: all five get the same structured error, the innocent
+    concurrent fingerprint completes, and nothing is stranded."""
+    doomed = run_fields("mcf_m", "fpb")
+    innocent = run_fields("mcf_m", "ideal")
+    monkeypatch.setenv(ENV_VAR, json.dumps([{
+        "point": "worker_run", "mode": "crash",
+        "match": fingerprint_of(doomed),
+    }]))
+    with GatewayHarness(jobs=2, queue_limit=16, batch_max=8,
+                        policy=fast_policy()) as harness:
+        host, port = harness.gateway.host, harness.gateway.port
+
+        async def drive():
+            return await asyncio.gather(
+                *(raw_request(host, port, "POST", "/run", doomed)
+                  for _ in range(WAITERS)),
+                raw_request(host, port, "POST", "/run", innocent),
+            )
+
+        *failed, ok = asyncio.run(drive())
+        health = harness.client().healthz()
+        metrics = harness.client().metrics()["metrics"]
+
+    # The innocent fingerprint is unharmed.
+    status, _, payload = ok
+    assert status == 200
+    assert payload["scheme"] == "ideal"
+
+    # Every waiter of the doomed run: same status, same structured body.
+    bodies = set()
+    for status, _, body in failed:
+        assert status == 500
+        error = body["error"]
+        assert error["code"] == "run_failed"
+        assert error["retryable"] is False
+        assert error["fingerprint"] == fingerprint_of(doomed)
+        assert "BrokenProcessPool" in error["message"] \
+            or "crash" in error["message"].lower()
+        bodies.add(json.dumps(body, sort_keys=True))
+    assert len(bodies) == 1, "waiters got different error stories"
+
+    # Nothing stranded: the coalescing map drained, one engine failure.
+    assert health["coalescing"]["inflight"] == 0
+    assert health["coalescing"]["followers"] >= WAITERS - 1
+    assert metrics["counters"]["service_runs_failed"] == 1
+    assert metrics["counters"]["service_runs_computed"] == 1
+
+
+def test_hung_run_is_reaped_not_dangled(monkeypatch):
+    """A run that hangs its worker forever: the engine watchdog reaps
+    it within the policy budget and the gateway answers with the
+    structured failure instead of holding the connection open."""
+    doomed = run_fields("tig_m", "fpb")
+    monkeypatch.setenv(ENV_VAR, json.dumps([{
+        "point": "worker_run", "mode": "hang",
+        "match": fingerprint_of(doomed), "hang_s": 600.0,
+    }]))
+    with GatewayHarness(jobs=1, queue_limit=8, batch_max=4,
+                        policy=fast_policy(run_timeout_s=3.0)
+                        ) as harness:
+        host, port = harness.gateway.host, harness.gateway.port
+
+        async def drive():
+            return await asyncio.gather(
+                raw_request(host, port, "POST", "/run", doomed),
+                raw_request(host, port, "POST", "/run", doomed),
+            )
+
+        responses = asyncio.run(drive())
+        health = harness.client().healthz()
+
+    for status, _, body in responses:
+        assert status == 500
+        assert body["error"]["code"] == "run_failed"
+    assert health["coalescing"]["inflight"] == 0
+
+
+def test_failure_is_not_sticky_after_fault_clears(monkeypatch):
+    """The crash was environmental, not semantic: once the fault plan
+    is gone, the same fingerprint computes cleanly on the next request
+    (the engine gives failed runs a fresh chance per plan)."""
+    doomed = run_fields("lbm_m", "fpb")
+    monkeypatch.setenv(ENV_VAR, json.dumps([{
+        "point": "worker_run", "mode": "crash",
+        "match": fingerprint_of(doomed),
+    }]))
+    with GatewayHarness(jobs=1, queue_limit=8, batch_max=4,
+                        policy=fast_policy()) as harness:
+        client = harness.client(timeout_s=120)
+        host, port = harness.gateway.host, harness.gateway.port
+
+        async def one():
+            return await raw_request(host, port, "POST", "/run", doomed)
+
+        status, _, body = asyncio.run(one())
+        assert status == 500
+        assert body["error"]["code"] == "run_failed"
+
+        # Fault gone -> new worker pools are clean -> the retry heals.
+        monkeypatch.delenv(ENV_VAR)
+        clear_faults()
+        payload = client.run(**doomed)
+        assert payload["source"] == "computed"
+        assert payload["fingerprint"] == fingerprint_of(doomed)

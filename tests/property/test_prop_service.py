@@ -1,0 +1,187 @@
+"""Property tests for the service gateway's concurrency core.
+
+The claims under test (see ``repro/service/coalescer.py``): for *any*
+interleaving of K concurrent requests over M distinct fingerprints,
+
+* exactly M submissions reach the engine — never a double-run;
+* all K requesters get the correct response for *their* fingerprint —
+  never cross-wired;
+* the coalescing map is empty once everything resolved — memory stays
+  bounded by the number of in-flight fingerprints, not by K;
+* a failure fans the same error out to every waiter — nobody hangs.
+
+The scenario drives the real :class:`Coalescer` + :class:`AdmissionQueue`
+with a stand-in dispatcher (no simulations — interleavings are the
+subject here), with Hypothesis choosing the request → fingerprint
+mapping and per-request start delays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.admission import AdmissionQueue
+from repro.service.coalescer import Coalescer
+from repro.service.schemas import BusyError, RunExecutionError
+
+
+@st.composite
+def workloads(draw):
+    m = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=24))
+    requests = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=m - 1),
+                  st.integers(min_value=0, max_value=4)),
+        min_size=k, max_size=k))
+    return requests
+
+
+async def _run_scenario(requests, *, dispatcher_yields=1):
+    """The gateway's resolve path with a stand-in engine: returns
+    (coalescer, queue, submissions, responses)."""
+    coalescer = Coalescer()
+    queue = AdmissionQueue(limit=1_000)
+    submissions = []
+    cache = {}
+
+    async def dispatcher():
+        while True:
+            key = await queue.take()
+            if key is None:
+                return
+            for _ in range(dispatcher_yields):  # interleave with clients
+                await asyncio.sleep(0)
+            submissions.append(key)
+            # Engine contract: the cache holds the result before the
+            # coalescer entry resolves (no await between the two).
+            cache[key] = f"value-for-{key}"
+            coalescer.resolve(key, cache[key])
+
+    async def client(fingerprint, delay):
+        for _ in range(delay):
+            await asyncio.sleep(0)
+        hit = cache.get(fingerprint)
+        if hit is not None:
+            return hit
+        lease = coalescer.lease(fingerprint)
+        if lease.leader:
+            queue.offer(fingerprint)
+        return await lease.wait()
+
+    task = asyncio.get_running_loop().create_task(dispatcher())
+    responses = await asyncio.gather(
+        *(client(f"fp-{index}", delay) for index, delay in requests))
+    queue.close()
+    await task
+    return coalescer, queue, submissions, responses
+
+
+@settings(max_examples=120, deadline=None)
+@given(requests=workloads())
+def test_any_interleaving_runs_each_fingerprint_once(requests):
+    coalescer, queue, submissions, responses = asyncio.run(
+        _run_scenario(requests))
+    distinct = {f"fp-{index}" for index, _delay in requests}
+    # Exactly M engine submissions, each fingerprint exactly once.
+    assert sorted(submissions) == sorted(distinct)
+    # Every requester got its own fingerprint's result.
+    assert responses == [f"value-for-fp-{index}"
+                         for index, _delay in requests]
+    # The in-flight map drained completely (bounded memory).
+    assert len(coalescer) == 0
+    assert coalescer.peak_inflight <= len(distinct)
+    assert len(queue) == 0
+    # Every submission had a leader; leases never exceed requests.
+    assert coalescer.leaders == len(submissions)
+    assert coalescer.leaders + coalescer.followers <= len(requests)
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=workloads(),
+       yields=st.integers(min_value=1, max_value=5))
+def test_slow_engine_coalesces_harder_never_wrong(requests, yields):
+    """A slower dispatcher only increases sharing, never correctness
+    risk: same single-submission and correct-response properties."""
+    coalescer, _queue, submissions, responses = asyncio.run(
+        _run_scenario(requests, dispatcher_yields=yields))
+    assert len(submissions) == len(set(submissions))
+    assert responses == [f"value-for-fp-{index}"
+                         for index, _delay in requests]
+    assert len(coalescer) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(waiters=st.integers(min_value=1, max_value=12))
+def test_failure_fans_out_to_every_waiter(waiters):
+    """A failed coalesced run rejects every waiter with the *same*
+    structured error — nobody is stranded, nobody gets a different
+    story."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        leases = [coalescer.lease("fp") for _ in range(waiters)]
+        assert leases[0].leader and not any(
+            lease.leader for lease in leases[1:])
+        error = RunExecutionError("boom", fingerprint="fp")
+        rejected = coalescer.reject("fp", error)
+        outcomes = await asyncio.gather(
+            *(lease.wait() for lease in leases), return_exceptions=True)
+        return rejected, outcomes, error, len(coalescer)
+
+    rejected, outcomes, error, remaining = asyncio.run(scenario())
+    assert rejected == waiters
+    assert remaining == 0
+    assert all(outcome is error for outcome in outcomes)
+
+
+def test_full_queue_rejects_all_current_waiters_and_recovers():
+    """Leader hits a full admission queue: the lease retracts before
+    any follower can join (no-await discipline), the client gets a
+    structured 429 with a Retry-After, and the fingerprint is
+    re-admittable afterwards."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        queue = AdmissionQueue(limit=1)
+        queue.offer("occupies-the-only-slot")
+
+        lease = coalescer.lease("fp")
+        assert lease.leader
+        with pytest.raises(BusyError) as excinfo:
+            queue.offer("fp")
+        coalescer.retract(lease)
+        assert excinfo.value.retry_after_s >= 1
+        assert excinfo.value.to_wire()["error"]["code"] == "busy"
+        assert "fp" not in coalescer
+
+        # Queue drains -> the same fingerprint admits cleanly.
+        assert await queue.take() == "occupies-the-only-slot"
+        retry = coalescer.lease("fp")
+        assert retry.leader
+        queue.offer("fp")
+        coalescer.resolve("fp", "ok")
+        assert await retry.wait() == "ok"
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_waiter_does_not_cancel_the_run():
+    """A dropped connection (cancelled waiter) must not cancel the
+    shared future the other waiters are awaiting."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        leader = coalescer.lease("fp")
+        follower = coalescer.lease("fp")
+        waiter = asyncio.get_running_loop().create_task(follower.wait())
+        await asyncio.sleep(0)
+        waiter.cancel()
+        await asyncio.sleep(0)
+        coalescer.resolve("fp", "survived")
+        assert await leader.wait() == "survived"
+
+    asyncio.run(scenario())
