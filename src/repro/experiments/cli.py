@@ -171,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON-lines run manifest (config, seed, metrics)",
     )
     run.add_argument(
+        "--metrics-text", type=pathlib.Path, default=None, metavar="PATH",
+        help="write the final metrics registry in Prometheus text "
+             "exposition format 0.0.4",
+    )
+    run.add_argument(
         "--sample-interval", type=_positive_int, default=5_000,
         metavar="CYCLES",
         help="telemetry sampling interval in cycles (default 5000)",
@@ -451,7 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         targets = list(dict.fromkeys(requested))
 
     telemetry = None
-    if args.trace is not None or args.metrics_out is not None:
+    if (args.trace is not None or args.metrics_out is not None
+            or args.metrics_text is not None):
         from ..obs import Telemetry
         telemetry = Telemetry(sample_interval=args.sample_interval)
         use_telemetry(telemetry)
@@ -551,6 +557,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 log.info("wrote run manifest: %s (%d runs)",
                          args.metrics_out, len(telemetry.runs))
+            if args.metrics_text is not None:
+                from ..obs.prometheus import render_registry
+                args.metrics_text.parent.mkdir(parents=True, exist_ok=True)
+                args.metrics_text.write_text(
+                    render_registry(telemetry.registry))
+                log.info("wrote Prometheus text metrics: %s (%d "
+                         "instruments)", args.metrics_text,
+                         len(telemetry.registry))
     return exit_code
 
 

@@ -14,12 +14,17 @@ Correctness guarantees:
   ``config.seed`` (``repro.rng``), so a worker process computes exactly
   the bytes the main process would. Results cross the process boundary
   by pickling, which round-trips ints and IEEE doubles exactly.
-* **Telemetry stays attached per-process.** The parent's
-  :class:`~repro.obs.Telemetry` never crosses into workers; runs
-  computed by workers are reported to the manifest as uninstrumented
-  ``sim_run`` records with worker provenance, plus per-request
-  ``cache_event`` records. Attaching (or not attaching) telemetry never
-  changes simulation results.
+* **Telemetry crosses into workers by sidecar, never by sharing.**
+  When the parent has a :class:`~repro.obs.Telemetry`, each worker
+  attaches its own local one, runs instrumented, and spools a
+  JSON snapshot (run record, spans, metrics, trace events) to a
+  content-addressed sidecar file next to the run's ``SimCache``
+  entry; the parent merges it back into one manifest and one
+  multi-process Perfetto trace. Span trace ids derive from the run
+  fingerprint, so parent and worker agree without extra transport.
+  Sidecar failures degrade to the old uninstrumented ``sim_run``
+  record — they never fail the run. Attaching (or not attaching)
+  telemetry never changes simulation results.
 * **Deterministic scheduling irrelevance.** Completion order only
   affects cache-fill order, never values; experiments read results by
   fingerprint.
@@ -58,7 +63,10 @@ mark_run_failed`; experiments that later ask for such a run get a
 from __future__ import annotations
 
 import heapq
+import json
 import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import (
@@ -69,10 +77,13 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import WorkerTimeoutError
-from ..obs.logging import get_logger
+from ..obs import tracing
+from ..obs.logging import get_logger, log_context
+from ..obs.manifest import _jsonable
 from ..testing.faults import maybe_inject
 from .base import (
     RunRequest,
@@ -106,11 +117,65 @@ def dedupe_requests(requests: Iterable[RunRequest]) -> List[RunRequest]:
     return list(unique.values())
 
 
-def _worker_execute(request: RunRequest) -> Tuple[str, object, int]:
-    """Process-pool entry point: compute one run, uncached and
-    uninstrumented, tagged with the worker's PID for provenance."""
+def _worker_execute(
+    request: RunRequest, obs: Optional[Dict[str, object]] = None,
+) -> Tuple[str, object, int, Optional[str]]:
+    """Process-pool entry point: compute one run, uncached, tagged with
+    the worker's PID for provenance.
+
+    With an ``obs`` spec (``spool_dir`` / ``sample_interval`` /
+    ``parent_span_id``) the run executes under a worker-local
+    :class:`~repro.obs.Telemetry` whose snapshot is spooled to a
+    content-addressed sidecar file; the returned 4th element is its
+    path (``None`` when capture is off or spooling failed — sidecar
+    trouble must never fail the run).
+    """
     maybe_inject("worker_run", key=request_key(request))
-    return request.fingerprint, execute_request(request), os.getpid()
+    if obs is None:
+        return request.fingerprint, execute_request(request), os.getpid(), None
+
+    from ..obs.telemetry import Telemetry
+
+    fingerprint = request.fingerprint
+    telemetry = Telemetry(
+        sample_interval=int(obs.get("sample_interval") or 5_000),
+        max_samples_per_series=obs.get("max_samples_per_series"),
+    )
+    context = tracing.SpanContext(
+        tracing.trace_id_for(fingerprint),
+        str(obs.get("parent_span_id") or ""),
+    )
+    with tracing.activate(context), \
+            log_context(fingerprint=fingerprint[:12], worker_pid=os.getpid()):
+        with telemetry.tracer.span(
+            "worker.run", fingerprint=fingerprint,
+            attrs={"workload": request.workload, "scheme": request.scheme,
+                   "role": "worker"},
+        ):
+            result = execute_request(request, telemetry=telemetry)
+    sidecar = _spool_sidecar(telemetry, fingerprint,
+                             str(obs.get("spool_dir") or ""))
+    return fingerprint, result, os.getpid(), sidecar
+
+
+def _spool_sidecar(telemetry, fingerprint: str,
+                   spool_dir: str) -> Optional[str]:
+    """Write the worker's telemetry snapshot next to the run's cache
+    entry (``<spool_dir>/<aa>/<fingerprint>.obs.json``), atomically and
+    best-effort."""
+    if not spool_dir:
+        return None
+    try:
+        payload = _jsonable(telemetry.worker_snapshot(fingerprint))
+        directory = Path(spool_dir) / fingerprint[:2]
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{fingerprint}.obs.json"
+        tmp = directory / f".{fingerprint}.obs.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return str(path)
+    except OSError:
+        return None
 
 
 @dataclass
@@ -147,6 +212,19 @@ class _PlanExecutor:
         self.aborted = False
         self.disk = active_disk_cache()
         self.telemetry = active_telemetry()
+        # Worker-side telemetry capture: sidecars land next to the disk
+        # cache entries when there is a disk cache (content-addressed
+        # artifacts worth keeping), else in a temp spool removed after
+        # the plan.
+        self._spool_tmp: Optional[str] = None
+        self.spool_dir: Optional[str] = None
+        if (self.telemetry is not None
+                and getattr(self.telemetry, "capture_workers", False)):
+            if self.disk is not None:
+                self.spool_dir = str(self.disk.root)
+            else:
+                self._spool_tmp = tempfile.mkdtemp(prefix="repro-obs-")
+                self.spool_dir = self._spool_tmp
 
     # -- scheduling ----------------------------------------------------
 
@@ -183,6 +261,8 @@ class _PlanExecutor:
             raise
         finally:
             self._teardown_pool()
+            if self._spool_tmp is not None:
+                shutil.rmtree(self._spool_tmp, ignore_errors=True)
 
     def _promote_delayed(self) -> None:
         now = time.monotonic()
@@ -212,7 +292,18 @@ class _PlanExecutor:
         deadline = None
         if self.policy.run_timeout_s is not None:
             deadline = time.monotonic() + self.policy.run_timeout_s
-        future = self.pool.submit(_worker_execute, request)
+        obs: Optional[Dict[str, object]] = None
+        if self.spool_dir is not None:
+            context = tracing.current_context()
+            obs = {
+                "spool_dir": self.spool_dir,
+                "sample_interval": self.telemetry.sample_interval,
+                "max_samples_per_series":
+                    self.telemetry.max_samples_per_series,
+                "parent_span_id":
+                    context.span_id if context is not None else None,
+            }
+        future = self.pool.submit(_worker_execute, request, obs)
         self.futures[future] = _Flight(request, attempt, deadline, isolated)
 
     def _defer(self, request: RunRequest, attempt: int, delay: float,
@@ -246,7 +337,7 @@ class _PlanExecutor:
             if flight is None:
                 continue
             try:
-                _key, result, worker_pid = future.result()
+                _key, result, worker_pid, sidecar = future.result()
             except BrokenProcessPool as exc:
                 broken = broken or exc
                 casualties.append(flight)
@@ -255,11 +346,12 @@ class _PlanExecutor:
             except BaseException as exc:  # worker raised: pool is fine
                 self._handle_failure(flight, exc)
             else:
-                self._deliver(flight, result, worker_pid)
+                self._deliver(flight, result, worker_pid, sidecar)
         if broken is not None:
             self._pool_broken(casualties, broken)
 
-    def _deliver(self, flight: _Flight, result, worker_pid: int) -> None:
+    def _deliver(self, flight: _Flight, result, worker_pid: int,
+                 sidecar: Optional[str] = None) -> None:
         key = flight.request.fingerprint
         _SIM_CACHE[key] = result
         if self.disk is not None:
@@ -267,7 +359,19 @@ class _PlanExecutor:
         record_cache_event(flight.request, "computed", worker=worker_pid,
                            prefetch=True)
         if self.telemetry is not None:
-            self.telemetry.record_external_run(result, worker=worker_pid)
+            merged = False
+            if sidecar is not None:
+                try:
+                    payload = json.loads(Path(sidecar).read_text())
+                    self.telemetry.merge_worker_telemetry(payload,
+                                                          sidecar=sidecar)
+                    merged = True
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    log.warning("discarding unreadable worker telemetry "
+                                "sidecar %s (%s: %s)", sidecar,
+                                type(exc).__name__, exc)
+            if not merged:
+                self.telemetry.record_external_run(result, worker=worker_pid)
         self.summary["computed"] += 1
 
     def _handle_failure(self, flight: _Flight, exc: BaseException) -> None:
@@ -344,8 +448,8 @@ class _PlanExecutor:
         for future, flight in list(self.futures.items()):
             del self.futures[future]
             if future.done() and future.exception() is None:
-                _key, result, worker_pid = future.result()
-                self._deliver(flight, result, worker_pid)
+                _key, result, worker_pid, sidecar = future.result()
+                self._deliver(flight, result, worker_pid, sidecar)
             else:
                 victims.append(flight)
         self._respawn(victims, exc, reason="broken_pool", isolate=True)
@@ -373,8 +477,8 @@ class _PlanExecutor:
         for future, flight in list(self.futures.items()):
             del self.futures[future]
             if future.done() and future.exception() is None:
-                _key, result, worker_pid = future.result()
-                self._deliver(flight, result, worker_pid)
+                _key, result, worker_pid, sidecar = future.result()
+                self._deliver(flight, result, worker_pid, sidecar)
             else:
                 innocents.append(flight)
         self._teardown_pool(terminate=True)
@@ -539,5 +643,14 @@ def execute_plan(
               summary["memory"], summary["disk"])
     executor = _PlanExecutor(pending, jobs, window,
                              policy or RetryPolicy(), summary)
-    executor.run()
+    telemetry = executor.telemetry
+    if telemetry is not None:
+        with telemetry.tracer.span(
+            "plan.execute",
+            attrs={"pending": len(pending), "unique": len(unique),
+                   "jobs": n_workers},
+        ):
+            executor.run()
+    else:
+        executor.run()
     return summary

@@ -12,6 +12,11 @@ telemetry attached pays only a handful of ``is not None`` checks:
   ``trace_event`` JSON, loadable at https://ui.perfetto.dev.
 * :mod:`repro.obs.manifest` — machine-readable run manifests
   (JSON-lines) capturing config, seed, scale and the metrics snapshot.
+* :mod:`repro.obs.tracing` — wall-clock spans with deterministic,
+  fingerprint-derived trace ids, propagated across threads and worker
+  processes so one request yields one connected trace.
+* :mod:`repro.obs.prometheus` — text exposition (format 0.0.4) of any
+  metrics registry, for scrapers and the gateway's ``/metrics``.
 
 Quickstart::
 
@@ -27,12 +32,14 @@ Quickstart::
 See docs/observability.md for the metrics catalog and schemas.
 """
 
-from .logging import get_logger, setup_logging
+from .logging import get_logger, log_context, setup_logging
 from .manifest import ManifestWriter, config_to_dict, read_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import TraceBuilder, cycles_to_us
+from .prometheus import render_registry, render_snapshot
 from .sampler import TimeSeries
 from .telemetry import Telemetry
+from .tracing import SpanContext, Tracer, span_id_for, trace_id_for
 
 __all__ = [
     "Counter",
@@ -40,12 +47,19 @@ __all__ = [
     "Histogram",
     "ManifestWriter",
     "MetricsRegistry",
+    "SpanContext",
     "Telemetry",
     "TimeSeries",
     "TraceBuilder",
+    "Tracer",
     "config_to_dict",
     "cycles_to_us",
     "get_logger",
+    "log_context",
     "read_manifest",
+    "render_registry",
+    "render_snapshot",
     "setup_logging",
+    "span_id_for",
+    "trace_id_for",
 ]

@@ -34,6 +34,16 @@ code), ``service_summary`` (request counts by status) and
 ``service_state`` (the gateway's final operational snapshot: queue,
 coalescing and cache state at drain).
 
+The tracing plane (v5) adds ``span`` (one wall-clock span: name,
+trace_id/span_id/parent_id, pid, kind, start/duration in microseconds,
+attributes — trace ids derive deterministically from run fingerprints,
+see :mod:`repro.obs.tracing`) and ``worker_telemetry`` (one per worker
+sidecar merged into the parent: fingerprint, worker pid, trace id,
+assigned parent pid, span count, sidecar path). Worker-computed
+``sim_run`` records are now fully instrumented and carry
+``fingerprint``/``trace_id``; ``sim_run.series`` entries gain a
+``dropped`` count and runs a ``samples_dropped`` total.
+
 See docs/observability.md and docs/service.md for the full schema.
 """
 
@@ -54,7 +64,9 @@ from typing import Dict, Iterable, List, Optional, Union
 #: aggregate written by the CLI.
 #: v4: service-gateway records — ``service_request``,
 #: ``service_summary``, ``service_state``.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5: tracing-plane records — ``span``, ``worker_telemetry`` — plus
+#: instrumented worker ``sim_run`` records and sample-drop counts.
+MANIFEST_SCHEMA_VERSION = 5
 
 
 def _jsonable(value):

@@ -172,6 +172,31 @@ class MetricsRegistry:
                 out["histograms"][name] = instrument.snapshot()
         return out
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one —
+        the parent side of cross-process worker telemetry.
+
+        Counters add; histograms combine bucket-wise (count/sum/min/max
+        stay exact). Gauges are point-in-time readings of *that*
+        process, so they are deliberately skipped rather than guessed
+        at. Instruments unseen here are created with empty help (their
+        canonical registration lives in the producing process).
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(float(value))
+        for name, data in (snapshot.get("histograms") or {}).items():
+            hist = self.histogram(name)
+            for bucket, count in (data.get("buckets") or {}).items():
+                key = int(bucket)
+                hist.buckets[key] = hist.buckets.get(key, 0) + int(count)
+            hist.count += int(data.get("count") or 0)
+            hist.sum += float(data.get("sum") or 0.0)
+            low, high = data.get("min"), data.get("max")
+            if low is not None and low < hist.min:
+                hist.min = low
+            if high is not None and high > hist.max:
+                hist.max = high
+
     def reset(self) -> None:
         self._instruments.clear()
 

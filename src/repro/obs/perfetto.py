@@ -19,6 +19,24 @@ Mapping of simulator concepts onto the trace model:
 
 Timestamps are microseconds (the spec's unit); cycles convert via the
 configured core frequency.
+
+Two timestamp domains coexist in one builder:
+
+* **simulated time** — events recorded in cycles (``complete`` /
+  ``instant`` / ``counter``), converted to microseconds at export;
+* **wall-clock time** — span events from :mod:`repro.obs.tracing`
+  (``complete_wall`` / ``instant_wall``), already in epoch
+  microseconds. At export they are normalised by subtracting the
+  earliest wall timestamp in the trace, so parent- and worker-process
+  spans (which share the machine clock) stay mutually aligned and the
+  trace starts near zero.
+
+:meth:`merge` folds another builder (or its :meth:`to_state` dict, the
+JSON-safe form workers spool to sidecar files) into this one, with an
+optional pid remap so each worker's logical run pids land on fresh
+parent pids. Duplicate process/thread name metadata is deduplicated at
+export, last registration wins — so a merged worker process can be
+renamed by simply registering the pid again.
 """
 
 from __future__ import annotations
@@ -95,23 +113,118 @@ class TraceBuilder:
         })
 
     # ------------------------------------------------------------------
+    # Wall-clock events (times in epoch microseconds; normalised at
+    # export instead of frequency-converted)
+    # ------------------------------------------------------------------
+    def complete_wall(self, pid: int, tid: int, name: str, begin_us: int,
+                      dur_us: int, args: Optional[Dict[str, object]] = None,
+                      category: str = "trace") -> None:
+        """A duration event measured on the wall clock."""
+        event: Dict[str, object] = {
+            "ph": "X", "pid": pid, "tid": tid, "name": name,
+            "cat": category, "ts": int(begin_us), "dur": max(0, int(dur_us)),
+            "wall": True,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant_wall(self, pid: int, tid: int, name: str, time_us: int,
+                     args: Optional[Dict[str, object]] = None,
+                     category: str = "trace") -> None:
+        event: Dict[str, object] = {
+            "ph": "i", "pid": pid, "tid": tid, "name": name,
+            "cat": category, "ts": int(time_us), "s": "t", "wall": True,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Merge & state transport
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """The builder's raw contents as a JSON-safe dict (timestamps
+        still in their native domain), for sidecar-file transport."""
+        return {
+            "events": [dict(e) for e in self._events],
+            "meta": [dict(m) for m in self._meta],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TraceBuilder":
+        builder = cls()
+        builder.merge(state)
+        return builder
+
+    def merge(self, other: Union["TraceBuilder", Dict[str, object]],
+              pid_map: Optional[Dict[int, int]] = None) -> None:
+        """Fold another builder (or a :meth:`to_state` dict) into this
+        one. ``pid_map`` remaps the source's pids (e.g. a worker's
+        logical run pid 0 onto a fresh parent pid); unmapped pids pass
+        through unchanged."""
+        if isinstance(other, TraceBuilder):
+            events, meta = other._events, other._meta
+        else:
+            events = other.get("events", [])
+            meta = other.get("meta", [])
+
+        def remap(event: Dict[str, object]) -> Dict[str, object]:
+            copied = dict(event)
+            if "args" in copied and isinstance(copied["args"], dict):
+                copied["args"] = dict(copied["args"])
+            if pid_map:
+                pid = int(copied.get("pid", 0))
+                copied["pid"] = pid_map.get(pid, pid)
+            return copied
+
+        self._events.extend(remap(e) for e in events)
+        self._meta.extend(remap(m) for m in meta)
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def _deduped_meta(self) -> List[Dict[str, object]]:
+        """Metadata with duplicate (kind, pid, tid) entries collapsed,
+        last registration winning (stable in first-seen order)."""
+        chosen: Dict[tuple, Dict[str, object]] = {}
+        order: List[tuple] = []
+        for meta in self._meta:
+            key = (meta["name"], meta["pid"], meta["tid"])
+            if key not in chosen:
+                order.append(key)
+            chosen[key] = meta
+        return [dict(chosen[key]) for key in order]
+
+    def _wall_epoch_us(self) -> Optional[int]:
+        """Earliest wall-clock timestamp, the zero of the wall domain."""
+        wall_ts = [int(e["ts"]) for e in self._events if e.get("wall")]
+        return min(wall_ts) if wall_ts else None
+
     def to_dict(self, freq_ghz: float = 4.0,
                 other_data: Optional[Dict[str, object]] = None
                 ) -> Dict[str, object]:
         """The full trace as a JSON-serialisable dict."""
-        events: List[Dict[str, object]] = list(self._meta)
+        events: List[Dict[str, object]] = self._deduped_meta()
+        epoch_us = self._wall_epoch_us()
         for raw in self._events:
             event = dict(raw)
-            event["ts"] = cycles_to_us(int(event["ts"]), freq_ghz)
-            if "dur" in event:
-                event["dur"] = cycles_to_us(int(event["dur"]), freq_ghz)
+            if event.pop("wall", False):
+                event["ts"] = float(int(event["ts"]) - (epoch_us or 0))
+                if "dur" in event:
+                    event["dur"] = float(event["dur"])
+            else:
+                event["ts"] = cycles_to_us(int(event["ts"]), freq_ghz)
+                if "dur" in event:
+                    event["dur"] = cycles_to_us(int(event["dur"]), freq_ghz)
             events.append(event)
+        other = dict(other_data or {})
+        if epoch_us is not None:
+            other.setdefault("wall_epoch_us", epoch_us)
         return {
             "traceEvents": events,
             "displayTimeUnit": "ns",
-            "otherData": dict(other_data or {}),
+            "otherData": other,
         }
 
     def to_json(self, freq_ghz: float = 4.0,

@@ -1,0 +1,101 @@
+"""Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+
+Renders counters, gauges and the log-2 histograms into the plain-text
+format any Prometheus-compatible scraper ingests. Served by the service
+gateway's ``/metrics`` under content negotiation (``Accept:
+text/plain``) and by the CLI's ``--metrics-text`` sink.
+
+Mapping notes:
+
+* instrument names are used verbatim (they are already
+  ``snake_case`` — enforced by ``tools/metrics_lint.py``); no
+  ``_total`` suffix is appended, so text and JSON expositions agree;
+* a log-2 histogram bucket ``k`` (``[2**(k-1), 2**k)``, bucket 0 is
+  ``[0, 1)``) becomes the cumulative Prometheus bucket
+  ``{le="2**k"}``, followed by the mandatory ``{le="+Inf"}``,
+  ``_sum`` and ``_count`` series;
+* gauges with non-finite values render as ``NaN`` / ``+Inf`` / ``-Inf``
+  per the exposition grammar.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: The Content-Type a 0.0.4 text exposition must be served under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2 ** 53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _header(name: str, kind: str, help_text: Optional[str]) -> List[str]:
+    lines = []
+    if help_text:
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+    return lines
+
+
+def _render_histogram(name: str, data: Dict[str, object],
+                      help_text: Optional[str]) -> List[str]:
+    lines = _header(name, "histogram", help_text)
+    buckets = {int(k): int(v) for k, v in (data.get("buckets") or {}).items()}
+    cumulative = 0
+    for bucket in sorted(buckets):
+        cumulative += buckets[bucket]
+        upper = float(2 ** bucket)  # bucket 0 is [0, 1) -> le="1"
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(upper)}"}} {cumulative}')
+    count = int(data.get("count") or 0)
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_format_value(float(data.get('sum') or 0.0))}")
+    lines.append(f"{name}_count {count}")
+    return lines
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, object]],
+                    help_texts: Optional[Dict[str, str]] = None) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict. ``help_texts``
+    maps instrument name to its ``# HELP`` line (omitted when absent,
+    which the format allows)."""
+    helps = help_texts or {}
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        lines.extend(_header(name, "counter", helps.get(name)))
+        value = float(snapshot["counters"][name])
+        lines.append(f"{name} {_format_value(value)}")
+    for name in sorted(snapshot.get("gauges") or {}):
+        lines.extend(_header(name, "gauge", helps.get(name)))
+        value = float(snapshot["gauges"][name])
+        lines.append(f"{name} {_format_value(value)}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        lines.extend(_render_histogram(
+            name, snapshot["histograms"][name], helps.get(name)))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Render a live registry, pulling ``# HELP`` text from the
+    instruments themselves."""
+    helps: Dict[str, str] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if isinstance(instrument, (Counter, Gauge, Histogram)):
+            if instrument.help:
+                helps[name] = instrument.help
+    return render_snapshot(registry.snapshot(), helps)

@@ -13,7 +13,7 @@ The sampler only reads state (pools, queues, pump) and appends to
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.policies.base import PowerManager
@@ -21,16 +21,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class TimeSeries:
-    """One sampled signal: parallel (cycle, value) arrays."""
+    """One sampled signal: parallel (cycle, value) arrays.
 
-    __slots__ = ("name", "times", "values")
+    With a ``capacity``, samples past the cap are counted in
+    :attr:`dropped` instead of stored — :meth:`Telemetry.finish_run`
+    surfaces the drop count in its run summary and warns once.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "times", "values", "capacity", "dropped")
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
         self.name = name
         self.times: List[int] = []
         self.values: List[float] = []
+        self.capacity = capacity
+        #: Samples discarded because ``capacity`` was reached.
+        self.dropped = 0
 
     def append(self, time: int, value: float) -> None:
+        if self.capacity is not None and len(self.times) >= self.capacity:
+            self.dropped += 1
+            return
         self.times.append(time)
         self.values.append(value)
 
@@ -61,15 +72,17 @@ class StateSampler:
                      "paused_writes", "inflight_writes")
 
     def __init__(self, mem: "MemorySystem", manager: "PowerManager",
-                 series: Dict[str, TimeSeries]):
+                 series: Dict[str, TimeSeries],
+                 capacity: Optional[int] = None):
         self._mem = mem
         self._manager = manager
         self._series = series
+        self._capacity = capacity
 
     def _get(self, name: str) -> TimeSeries:
         ts = self._series.get(name)
         if ts is None:
-            ts = TimeSeries(name)
+            ts = TimeSeries(name, capacity=self._capacity)
             self._series[name] = ts
         return ts
 

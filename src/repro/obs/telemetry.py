@@ -13,17 +13,33 @@ telemetry=...)``):
 One ``Telemetry`` may observe many sequential runs (a scheme sweep);
 each run becomes its own Perfetto process and its own ``sim_run``
 manifest record.
+
+Cross-process capture: an engine worker builds its own ``Telemetry``,
+runs one simulation under it, and spools :meth:`worker_snapshot` to a
+sidecar file; the parent folds that back in with
+:meth:`merge_worker_telemetry` — run records keep full series
+summaries, spans land in the shared :class:`~repro.obs.tracing.Tracer`,
+trace events merge into one multi-process Perfetto export, and worker
+counters/histograms add into the parent registry.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from .logging import get_logger
 from .manifest import ManifestWriter, run_header
 from .metrics import MetricsRegistry
 from .perfetto import TID_BURST, TID_GCP, TID_SCHED, TraceBuilder
 from .sampler import StateSampler, TimeSeries
+from .tracing import Tracer, trace_id_for
+
+log = get_logger("obs.telemetry")
+
+#: Version of the worker sidecar payload (:meth:`Telemetry.worker_snapshot`).
+WORKER_SNAPSHOT_SCHEMA = 1
 
 
 class _RunContext:
@@ -50,12 +66,31 @@ class Telemetry:
     """Collects metrics, time series, trace events and run manifests."""
 
     def __init__(self, sample_interval: int = 5_000,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 max_samples_per_series: Optional[int] = None):
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        if max_samples_per_series is not None and max_samples_per_series <= 0:
+            raise ValueError("max_samples_per_series must be positive")
         self.sample_interval = sample_interval
+        self.max_samples_per_series = max_samples_per_series
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = TraceBuilder()
+        #: Wall-clock span records (engine supervision, service request
+        #: path, worker runs) — exported alongside the simulated-time
+        #: trace and as manifest ``span`` records.
+        self.tracer = Tracer()
+        #: ``worker_telemetry`` manifest records: one per merged worker
+        #: sidecar (provenance of the cross-process merge).
+        self.worker_telemetry: List[Dict[str, object]] = []
+        #: When False the engine skips worker-side capture entirely.
+        self.capture_workers = True
+        #: Optional live-event hook ``(kind, record) -> None`` invoked
+        #: on retry / run_failure records as they happen (the gateway's
+        #: ``/watch`` stream taps this); exceptions are swallowed so a
+        #: subscriber can never corrupt supervision.
+        self.on_event: Optional[Callable[[str, Dict[str, object]], None]] = \
+            None
         #: Completed ``sim_run`` manifest records, in run order.
         self.runs: List[Dict[str, object]] = []
         #: ``cache_event`` manifest records: one per run acquisition
@@ -133,7 +168,8 @@ class Telemetry:
 
         mem.obs = self
         manager.obs = self
-        sampler = StateSampler(mem, manager, run.series)
+        sampler = StateSampler(mem, manager, run.series,
+                               capacity=self.max_samples_per_series)
         engine.set_probe(self.sample_interval, sampler.probe)
 
     def finish_run(self, stats, end: int) -> Dict[str, object]:
@@ -148,6 +184,7 @@ class Telemetry:
         for name, series in run.series.items():
             for t, v in zip(series.times, series.values):
                 self.trace.counter(run.pid, name, t, {name: v})
+        dropped_total = sum(s.dropped for s in run.series.values())
         record: Dict[str, object] = {
             "type": "sim_run",
             "pid": run.pid,
@@ -160,12 +197,23 @@ class Telemetry:
             "series": {
                 name: {
                     "samples": len(series),
+                    "dropped": series.dropped,
                     "last": series.last()[1],
                     "max": max(series.values) if series.values else 0.0,
                 }
                 for name, series in sorted(run.series.items())
             },
+            "samples_dropped": dropped_total,
         }
+        if dropped_total:
+            log.warning(
+                "telemetry dropped %d sample(s) across %d series in "
+                "%s/%s (max_samples_per_series=%s) — summaries cover "
+                "only the retained prefix",
+                dropped_total,
+                sum(1 for s in run.series.values() if s.dropped),
+                run.workload, run.scheme, self.max_samples_per_series,
+            )
         run.record = record
         self.runs.append(record)
         self._run = None
@@ -190,6 +238,82 @@ class Telemetry:
             "worker": worker,
             "instrumented": False,
             "stats": result.stats.snapshot(),
+        })
+
+    def worker_snapshot(self, fingerprint: str) -> Dict[str, object]:
+        """Everything a worker process observed for one run, as a
+        JSON-safe payload the parent can
+        :meth:`merge_worker_telemetry`. Spooled to a content-addressed
+        sidecar file next to the run's ``SimCache`` entry."""
+        return {
+            "schema": WORKER_SNAPSHOT_SCHEMA,
+            "fingerprint": fingerprint,
+            "worker_pid": os.getpid(),
+            "trace_id": trace_id_for(fingerprint),
+            "run": self.runs[-1] if self.runs else None,
+            "spans": self.tracer.to_records(),
+            "metrics": self.registry.snapshot(),
+            "trace": self.trace.to_state(),
+            "freq_ghz": self._freq_ghz,
+        }
+
+    def merge_worker_telemetry(self, payload: Dict[str, object],
+                               sidecar: Optional[str] = None) -> None:
+        """Fold one worker's :meth:`worker_snapshot` into this
+        telemetry: the run record (re-pid'd onto a fresh parent pid,
+        stamped with worker provenance and trace id), its spans, its
+        Perfetto events and its counters/histograms. Emits a
+        ``worker_telemetry`` manifest record describing the merge."""
+        worker_pid = payload.get("worker_pid")
+        trace_id = payload.get("trace_id")
+        fingerprint = payload.get("fingerprint")
+        if self._freq_ghz is None and payload.get("freq_ghz"):
+            self._freq_ghz = payload["freq_ghz"]
+
+        new_pid = None
+        run = payload.get("run")
+        if isinstance(run, dict):
+            new_pid = self._next_pid
+            self._next_pid += 1
+            merged_run = dict(run)
+            old_pid = merged_run.get("pid")
+            merged_run.update({
+                "pid": new_pid,
+                "worker": worker_pid,
+                "instrumented": True,
+                "trace_id": trace_id,
+                "fingerprint": fingerprint,
+            })
+            self.runs.append(merged_run)
+            state = payload.get("trace")
+            if isinstance(state, dict):
+                pid_map = ({int(old_pid): new_pid}
+                           if old_pid is not None else None)
+                self.trace.merge(state, pid_map=pid_map)
+                # Re-register to mark worker provenance (last registration
+                # wins at export).
+                self.trace.process(
+                    new_pid,
+                    f"{merged_run.get('workload')}/"
+                    f"{merged_run.get('scheme')} [worker {worker_pid}]",
+                )
+
+        spans = payload.get("spans")
+        adopted = self.tracer.absorb(spans) if isinstance(spans, list) else 0
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            self.registry.merge_snapshot(metrics)
+
+        self.worker_telemetry.append({
+            "type": "worker_telemetry",
+            "fingerprint": fingerprint,
+            "worker": worker_pid,
+            "trace_id": trace_id,
+            "pid": new_pid,
+            "spans": adopted,
+            "samples_dropped": (run.get("samples_dropped", 0)
+                                if isinstance(run, dict) else 0),
+            "sidecar": sidecar,
         })
 
     def record_sim_request(self, *, workload: str, scheme: str,
@@ -217,7 +341,7 @@ class Telemetry:
         """Record one failed attempt being retried by the engine's
         supervisor (manifest ``retry`` record); ``delay_s`` is the
         deterministic fingerprint-jittered backoff."""
-        self.resilience_events.append({
+        record = {
             "type": "retry",
             "fingerprint": fingerprint,
             "workload": workload,
@@ -225,13 +349,17 @@ class Telemetry:
             "attempt": attempt,
             "delay_s": delay_s,
             "error_type": error_type,
-        })
+        }
+        self.resilience_events.append(record)
+        self._emit("retry", record)
 
     def record_run_failure(self, failure: Dict[str, object]) -> None:
         """Record a terminal run failure (manifest ``run_failure``
         record; verdict ``quarantine`` additionally emits a
         ``quarantine`` record so benched runs are grep-able)."""
-        self.resilience_events.append({"type": "run_failure", **failure})
+        record = {"type": "run_failure", **failure}
+        self.resilience_events.append(record)
+        self._emit("run_failure", record)
         if failure.get("verdict") == "quarantine":
             self.resilience_events.append({
                 "type": "quarantine",
@@ -267,6 +395,14 @@ class Telemetry:
             "wall_ms": round(wall_ms, 3),
             "error": error,
         })
+
+    def _emit(self, kind: str, record: Dict[str, object]) -> None:
+        hook = self.on_event
+        if hook is not None:
+            try:
+                hook(kind, record)
+            except Exception:  # subscribers must never break recording
+                pass
 
     def _require_run(self) -> _RunContext:
         if self._run is None:
@@ -386,11 +522,18 @@ class Telemetry:
     # Export
     # ==================================================================
     def write_trace(self, path, freq_ghz: Optional[float] = None) -> None:
-        """Write everything observed so far as Perfetto-loadable JSON."""
-        self.trace.write(
+        """Write everything observed so far as Perfetto-loadable JSON:
+        the simulated-time events (local and merged worker runs) plus
+        every wall-clock span, in one multi-process trace. The export
+        works on a merged copy, so it can be called repeatedly."""
+        combined = TraceBuilder()
+        combined.merge(self.trace)
+        self.tracer.export_to(combined)
+        combined.write(
             path,
             freq_ghz=freq_ghz or self._freq_ghz or 4.0,
-            other_data={"runs": len(self.runs)},
+            other_data={"runs": len(self.runs),
+                        "spans": len(self.tracer)},
         )
 
     def write_manifest(self, path, config=None, *,
@@ -400,7 +543,8 @@ class Telemetry:
                        **context) -> ManifestWriter:
         """Write header + per-run records + the full metrics snapshot
         as JSON-lines. ``service``, when given, is the gateway's final
-        operational snapshot (``service_state`` record, schema v4)."""
+        operational snapshot (``service_state`` record, schema v4);
+        ``span`` / ``worker_telemetry`` records are schema v5."""
         writer = ManifestWriter(path)
         if config is not None:
             writer.append(run_header(config, seed=seed, scale=scale,
@@ -409,6 +553,8 @@ class Telemetry:
         writer.extend(self.sim_requests)
         writer.extend(self.resilience_events)
         writer.extend(self.service_requests)
+        writer.extend(self.tracer.to_records())
+        writer.extend(self.worker_telemetry)
         if self.plan_summary is not None:
             writer.append({"type": "plan_summary", **self.plan_summary})
         if self.sim_requests:

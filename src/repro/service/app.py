@@ -31,14 +31,26 @@ admission (new work gets 503), lets the dispatcher finish the backlog,
 bounded by ``drain_timeout_s``, then resolves stragglers with a
 structured drain error — a connection is never left hanging — and
 finally writes the run manifest when one was requested.
+
+Observability: every ``/run`` request opens a wall-clock span whose
+trace id derives from the run fingerprint, connecting the HTTP handler
+through admission, the dispatcher batch and ``execute_plan`` to the
+worker process (:mod:`repro.obs.tracing`). ``GET /metrics`` serves the
+JSON snapshot by default and Prometheus text format 0.0.4 under
+``Accept: text/plain``. ``GET /watch?fingerprint=...`` streams
+newline-delimited JSON progress events (queued → running → retry →
+done, plus periodic counter deltas) over chunked transfer encoding
+while a run is in flight.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import signal
 import time
+import urllib.parse
 from typing import Dict, List, Optional, Tuple
 
 from ..experiments.base import (
@@ -50,9 +62,12 @@ from ..experiments.base import (
 from ..experiments.engine import dedupe_requests, execute_plan
 from ..experiments.registry import describe_experiments, get_experiment
 from ..experiments.resilience import RetryPolicy
-from ..obs.logging import get_logger
+from ..obs.logging import get_logger, log_context
 from ..obs.manifest import config_to_dict
 from ..obs.metrics import MetricsRegistry
+from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.prometheus import render_registry
+from ..obs.tracing import Tracer
 from .admission import AdmissionQueue
 from .coalescer import Coalescer, Lease
 from .schemas import (
@@ -103,6 +118,7 @@ class Gateway:
                  memory_cache_limit: int = 4096,
                  policy: Optional[RetryPolicy] = None,
                  drain_timeout_s: float = 30.0,
+                 watch_tick_s: float = 0.5,
                  telemetry=None, manifest_path=None, cache=None,
                  registry: Optional[MetricsRegistry] = None):
         self.host = host
@@ -112,9 +128,14 @@ class Gateway:
         self.memory_cache_limit = memory_cache_limit
         self.policy = policy or RetryPolicy()
         self.drain_timeout_s = drain_timeout_s
+        self.watch_tick_s = watch_tick_s
         self.telemetry = telemetry
         self.manifest_path = manifest_path
         self.cache = cache
+        #: Spans survive in the telemetry manifest when one is attached;
+        #: a standalone tracer still propagates context either way.
+        self.tracer: Tracer = (telemetry.tracer if telemetry is not None
+                               else Tracer())
 
         self.coalescer = Coalescer()
         self.admission = AdmissionQueue(queue_limit, workers=self.jobs)
@@ -124,6 +145,8 @@ class Gateway:
         self._dispatcher: Optional[asyncio.Task] = None
         self._drain_requested = asyncio.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: ``/watch`` subscribers: fingerprint -> event queues.
+        self._watchers: Dict[str, List[asyncio.Queue]] = {}
 
         self.registry = registry if registry is not None else (
             telemetry.registry if telemetry is not None
@@ -160,6 +183,28 @@ class Gateway:
             "service_draining", "1 while draining")
         self._h_wall = reg.histogram(
             "service_request_wall_ms", "request wall time (ms)")
+        self._h_wall_by_path = {
+            "/run": reg.histogram(
+                "service_request_wall_ms_run",
+                "POST /run wall time (ms)"),
+            "/experiment": reg.histogram(
+                "service_request_wall_ms_experiment",
+                "POST /experiment wall time (ms)"),
+        }
+        self._c_source = {
+            "memory": reg.counter(
+                "service_runs_served_memory",
+                "run resolutions served from the in-memory cache"),
+            "disk": reg.counter(
+                "service_runs_served_disk",
+                "run resolutions served from the on-disk cache"),
+            "computed": reg.counter(
+                "service_runs_served_computed",
+                "run resolutions freshly computed by the engine"),
+            "coalesced": reg.counter(
+                "service_runs_served_coalesced",
+                "run resolutions that joined an in-flight computation"),
+        }
 
     # ==================================================================
     # Lifecycle
@@ -169,6 +214,10 @@ class Gateway:
         (host, port) — with ``port=0`` the ephemeral port chosen."""
         self._loop = asyncio.get_running_loop()
         self.started_at = time.monotonic()
+        if self.telemetry is not None:
+            # Forward supervision events (retries, failures) from the
+            # engine thread to /watch subscribers on the loop.
+            self.telemetry.on_event = self._on_telemetry_event
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -217,6 +266,9 @@ class Gateway:
         log.info("draining (%s): %d queued, %d in flight", reason,
                  len(self.admission), len(self.coalescer))
         self.admission.close()
+        # Wake every /watch stream so open connections end promptly.
+        for fingerprint in list(self._watchers):
+            self._publish(fingerprint, "drain", reason=reason)
         self._drain_requested.set()
 
     async def _shutdown(self) -> None:
@@ -245,6 +297,8 @@ class Gateway:
             log.warning("drain: aborted %d in-flight run(s)", stranded)
         if self._server is not None:
             await self._server.wait_closed()
+        if self.telemetry is not None:
+            self.telemetry.on_event = None
         self._write_manifest()
         log.info("gateway stopped")
 
@@ -275,7 +329,37 @@ class Gateway:
             "memory_cache_limit": self.memory_cache_limit,
             "disk_cache": (self.cache.snapshot()
                            if self.cache is not None else None),
+            "watchers": sum(len(queues)
+                            for queues in self._watchers.values()),
         }
+
+    # ==================================================================
+    # /watch event bus
+    # ==================================================================
+    def _publish(self, fingerprint: str, event: str, **fields) -> None:
+        """Push one progress event to every watcher of ``fingerprint``
+        (no-op without subscribers). Loop-thread only."""
+        queues = self._watchers.get(fingerprint)
+        if not queues:
+            return
+        payload = {"event": event, "fingerprint": fingerprint,
+                   "ts": time.time(), **fields}
+        for queue in list(queues):
+            queue.put_nowait(payload)
+
+    def _on_telemetry_event(self, kind: str,
+                            record: Dict[str, object]) -> None:
+        """Telemetry ``on_event`` hook — called from the engine's worker
+        thread, so hop onto the loop before touching watcher queues."""
+        fingerprint = record.get("fingerprint")
+        loop = self._loop
+        if not fingerprint or loop is None or not loop.is_running():
+            return
+        fields = {k: v for k, v in record.items()
+                  if k not in ("type", "fingerprint")}
+        loop.call_soon_threadsafe(
+            functools.partial(self._publish, str(fingerprint), kind,
+                              **fields))
 
     # ==================================================================
     # Dispatcher: admitted work -> supervised engine -> waiters
@@ -290,10 +374,16 @@ class Gateway:
             batch.extend(self.admission.drain_now(self.batch_max - 1))
             self._g_queue.set(len(self.admission))
             self._c_batches.inc()
+            for work in batch:
+                self._publish(work.fingerprint, "running",
+                              batch=len(batch))
             started = time.monotonic()
             try:
-                outcomes = await asyncio.to_thread(
-                    self._execute_batch, [work.request for work in batch])
+                with self.tracer.span("service.batch",
+                                      attrs={"batch": len(batch)}):
+                    outcomes = await asyncio.to_thread(
+                        self._execute_batch,
+                        [work.request for work in batch])
             except BaseException as exc:  # engine blew past supervision
                 log.error("dispatch batch failed wholesale: %s: %s",
                           type(exc).__name__, exc)
@@ -302,6 +392,8 @@ class Gateway:
                         f"engine dispatch failed: "
                         f"{type(exc).__name__}: {exc}"))
                     self._c_run_failed.inc()
+                    self._publish(work.fingerprint, "failed",
+                                  error=f"{type(exc).__name__}: {exc}")
                 self._g_inflight.set(len(self.coalescer))
                 continue
             elapsed = time.monotonic() - started
@@ -316,6 +408,8 @@ class Gateway:
                     self.coalescer.reject(
                         work.fingerprint,
                         run_failure_error(work.fingerprint, str(result)))
+                    self._publish(work.fingerprint, "failed",
+                                  error=str(result))
                 else:
                     if source == "disk":
                         self._c_hit_disk.inc()
@@ -323,6 +417,7 @@ class Gateway:
                         self._c_computed.inc()
                     self.coalescer.resolve(work.fingerprint,
                                            (result, source))
+                    self._publish(work.fingerprint, "done", source=source)
             self._g_inflight.set(len(self.coalescer))
             self._trim_sim_cache()
 
@@ -378,6 +473,7 @@ class Gateway:
         result = _SIM_CACHE.get(fingerprint)
         if result is not None:
             self._c_hit_memory.inc()
+            self._count_source("memory")
             return result, "memory"
         if self.draining:
             raise DrainingError("gateway is draining; not admitting "
@@ -393,16 +489,37 @@ class Gateway:
                 raise
             self._g_queue.set(len(self.admission))
             self._g_inflight.set(len(self.coalescer))
+            self._publish(fingerprint, "queued",
+                          queue_depth=len(self.admission))
+            self.tracer.instant("service.queued", fingerprint=fingerprint,
+                                attrs={"queue_depth": len(self.admission)})
         else:
             self._c_coalesced.inc()
+            self.tracer.instant("service.coalesced",
+                                fingerprint=fingerprint)
         result, source = await lease.wait()
-        return result, (source if lease.leader else "coalesced")
+        source = source if lease.leader else "coalesced"
+        self._count_source(source)
+        return result, source
+
+    def _count_source(self, source: str) -> None:
+        counter = self._c_source.get(source)
+        if counter is not None:
+            counter.inc()
 
     async def _handle_run(self, body: object) -> Dict[str, object]:
         sim_request = SimRequest.from_wire(body)
         request = sim_request.to_run_request()
-        result, source = await self._resolve_run(request)
-        return SimResponse(sim_request, request.fingerprint, source,
+        fingerprint = request.fingerprint
+        with log_context(fingerprint=fingerprint[:12]), \
+                self.tracer.span(
+                    "service.request", fingerprint=fingerprint,
+                    attrs={"path": "/run",
+                           "workload": request.workload,
+                           "scheme": request.scheme}) as span:
+            result, source = await self._resolve_run(request)
+            span.setdefault("attrs", {})["source"] = source
+        return SimResponse(sim_request, fingerprint, source,
                            result).to_wire()
 
     async def _handle_experiment(self, body: object) -> Dict[str, object]:
@@ -435,9 +552,18 @@ class Gateway:
     def _handle_metrics(self) -> Dict[str, object]:
         return {"metrics": self.registry.snapshot()}
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, Dict[str, object],
-                                           Dict[str, str]]:
+    @staticmethod
+    def _wants_prometheus_text(headers: Dict[str, str]) -> bool:
+        """Content negotiation for ``/metrics``: Prometheus scrapers ask
+        for ``text/plain; version=0.0.4``; anything not explicitly
+        text-seeking keeps the JSON snapshot."""
+        accept = headers.get("accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     headers: Optional[Dict[str, str]] = None,
+                     ) -> Tuple[int, object, Dict[str, str]]:
+        headers = headers or {}
         routes = {
             "/healthz": ("GET", lambda b: self._handle_healthz()),
             "/metrics": ("GET", lambda b: self._handle_metrics()),
@@ -449,12 +575,15 @@ class Gateway:
         route = routes.get(path)
         if route is None:
             raise NotFoundError(f"no such endpoint {path!r}",
-                                endpoints=sorted(routes))
+                                endpoints=sorted(routes) + ["/watch"])
         expected_method, handler = route
         if method != expected_method:
             raise MethodNotAllowedError(
                 f"{path} only accepts {expected_method}",
                 allowed=expected_method)
+        if path == "/metrics" and self._wants_prometheus_text(headers):
+            return 200, render_registry(self.registry), {
+                "Content-Type": PROMETHEUS_CONTENT_TYPE}
         if expected_method == "POST":
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
@@ -472,13 +601,20 @@ class Gateway:
         status = 500
         record: Dict[str, object] = {}
         try:
-            method, path, body = await asyncio.wait_for(
+            method, path, query, body, req_headers = await asyncio.wait_for(
                 self._read_request(reader), timeout=READ_TIMEOUT_S)
             self._c_requests.inc()
             record = {"method": method, "path": path}
+            if method == "GET" and path == "/watch":
+                status = await self._handle_watch(writer, query)
+                if 200 <= status < 300:
+                    self._c_ok.inc()
+                else:
+                    self._c_error.inc()
+                return
             try:
                 status, payload, headers = await self._route(
-                    method, path, body)
+                    method, path, body, req_headers)
             except ServiceError as exc:
                 status, payload, headers = exc.status, exc.to_wire(), {}
                 if exc.status == 429:
@@ -519,6 +655,9 @@ class Gateway:
         finally:
             wall_ms = (time.monotonic() - started) * 1000.0
             self._h_wall.observe(wall_ms)
+            by_path = self._h_wall_by_path.get(str(record.get("path")))
+            if by_path is not None:
+                by_path.observe(wall_ms)
             if self.telemetry is not None and record.get("path") in (
                     "/run", "/experiment"):
                 self.telemetry.record_service_request(
@@ -533,9 +672,104 @@ class Gateway:
             except (ConnectionError, RuntimeError):
                 pass
 
+    # ==================================================================
+    # /watch: chunked NDJSON progress streaming
+    # ==================================================================
+    async def _handle_watch(self, writer: asyncio.StreamWriter,
+                            query: str) -> int:
+        """Stream progress events for one fingerprint as
+        newline-delimited JSON over chunked transfer encoding, until the
+        run finishes, the gateway drains, or the client disconnects."""
+        params = urllib.parse.parse_qs(query)
+        fingerprints = params.get("fingerprint")
+        if not fingerprints or not fingerprints[0]:
+            await self._write_response(writer, 400, {
+                "error": {"code": "invalid_request",
+                          "message": "/watch requires a ?fingerprint=... "
+                                     "query parameter",
+                          "retryable": False}}, {})
+            return 400
+        fingerprint = fingerprints[0]
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(fingerprint, []).append(queue)
+        try:
+            writer.write((
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1"))
+            await writer.drain()
+
+            in_cache = fingerprint in _SIM_CACHE
+            inflight = fingerprint in self.coalescer
+            state = ("done" if in_cache
+                     else "inflight" if inflight
+                     else "unknown")
+            await self._write_chunk(writer, {
+                "event": "state", "fingerprint": fingerprint,
+                "status": state, "draining": self.draining,
+                "ts": time.time()})
+            if in_cache:
+                await self._write_chunk(writer, {
+                    "event": "done", "fingerprint": fingerprint,
+                    "source": "memory", "ts": time.time()})
+                return 200
+
+            last_counters = dict(
+                self.registry.snapshot().get("counters") or {})
+            while True:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), timeout=self.watch_tick_s)
+                except asyncio.TimeoutError:
+                    counters = dict(
+                        self.registry.snapshot().get("counters") or {})
+                    delta = {name: value - last_counters.get(name, 0)
+                             for name, value in counters.items()
+                             if value != last_counters.get(name, 0)}
+                    last_counters = counters
+                    if delta:
+                        await self._write_chunk(writer, {
+                            "event": "registry", "fingerprint": fingerprint,
+                            "counters": delta, "ts": time.time()})
+                    if self.draining:
+                        await self._write_chunk(writer, {
+                            "event": "drain", "fingerprint": fingerprint,
+                            "ts": time.time()})
+                        return 200
+                    continue
+                await self._write_chunk(writer, event)
+                if event.get("event") in ("done", "failed", "drain"):
+                    return 200
+        except (ConnectionError, asyncio.TimeoutError, RuntimeError):
+            return 200  # client went away; nothing left to say
+        finally:
+            queues = self._watchers.get(fingerprint)
+            if queues is not None:
+                try:
+                    queues.remove(queue)
+                except ValueError:
+                    pass
+                if not queues:
+                    del self._watchers[fingerprint]
+            try:
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    @staticmethod
+    async def _write_chunk(writer: asyncio.StreamWriter,
+                           event: Dict[str, object]) -> None:
+        data = (json.dumps(event) + "\n").encode("utf-8")
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        await writer.drain()
+
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader,
-                            ) -> Tuple[str, str, bytes]:
+                            ) -> Tuple[str, str, str, bytes,
+                                       Dict[str, str]]:
         request_line = (await reader.readline()).decode(
             "latin-1", "replace").strip()
         if not request_line:
@@ -560,17 +794,27 @@ class Gateway:
                 f"body of {length} bytes exceeds the {MAX_BODY_BYTES} "
                 f"byte limit", status=413)
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, body, headers
 
     @staticmethod
     async def _write_response(writer: asyncio.StreamWriter, status: int,
-                              payload: Dict[str, object],
+                              payload: object,
                               headers: Dict[str, str]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        """Write one complete response. Dict payloads go out as JSON;
+        ``str`` payloads as text (Content-Type from ``headers``, which
+        otherwise carries extra response headers)."""
+        headers = dict(headers)
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = headers.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]

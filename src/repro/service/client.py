@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from .schemas import (
     BusyError,
@@ -102,5 +102,69 @@ class GatewayClient:
     def metrics(self) -> Dict[str, object]:
         return self.request("GET", "/metrics")
 
+    def metrics_text(self) -> Tuple[str, str]:
+        """``GET /metrics`` negotiated as Prometheus text exposition.
+
+        Returns ``(content_type, body)``; the content type carries the
+        exposition format version (``text/plain; version=0.0.4; ...``).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request("GET", "/metrics",
+                         headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            raw = response.read()
+            if not 200 <= response.status < 300:
+                try:
+                    decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                raise error_from_wire(response.status, decoded)
+            content_type = response.getheader("Content-Type", "")
+            return content_type, raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def experiments(self) -> Dict[str, object]:
         return self.request("GET", "/experiments")
+
+    def watch(self, fingerprint: str, *,
+              max_events: Optional[int] = None) -> Iterator[Dict[str, object]]:
+        """``GET /watch`` — yield lifecycle events for one fingerprint.
+
+        Streams the gateway's chunked NDJSON feed (``http.client``
+        de-chunks transparently) and yields each event dict as it
+        arrives. The iterator ends when the stream reports a terminal
+        event (``done``, ``failed`` or ``drain``), when ``max_events``
+        have been yielded, or when the server closes the connection.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request("GET", f"/watch?fingerprint={fingerprint}")
+            response = conn.getresponse()
+            if not 200 <= response.status < 300:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                raise error_from_wire(response.status, decoded)
+            yielded = 0
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue
+                yield event
+                yielded += 1
+                if max_events is not None and yielded >= max_events:
+                    return
+                if event.get("event") in ("done", "failed", "drain"):
+                    return
+        finally:
+            conn.close()

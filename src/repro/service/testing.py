@@ -26,6 +26,29 @@ from .client import GatewayClient
 #: How long harness start-up/shutdown may take before a test fails.
 STARTUP_TIMEOUT_S = 30.0
 
+#: Longest the harness waits, post-drain, for leftover in-loop tasks
+#: (submitted client coroutines reading their last bytes) to finish.
+SETTLE_TIMEOUT_S = 5.0
+
+
+async def _settle_pending_tasks() -> None:
+    """Wait (bounded) until no other task on this loop is pending.
+
+    Runs after a graceful gateway stop: the server has answered and
+    closed every connection, so surviving tasks are client coroutines
+    one selector cycle away from their EOF. Anything still pending at
+    the deadline is abandoned to the loop teardown.
+    """
+    deadline = asyncio.get_running_loop().time() + SETTLE_TIMEOUT_S
+    current = asyncio.current_task()
+    while True:
+        pending = [task for task in asyncio.all_tasks()
+                   if task is not current and not task.done()]
+        remaining = deadline - asyncio.get_running_loop().time()
+        if not pending or remaining <= 0:
+            return
+        await asyncio.wait(pending, timeout=min(remaining, 0.25))
+
 
 class GatewayHarness:
     """Owns a gateway + event loop on a background daemon thread."""
@@ -64,6 +87,14 @@ class GatewayHarness:
                 self.gateway.stop(), self.loop).result(
                     timeout=STARTUP_TIMEOUT_S
                     + self.gateway.drain_timeout_s)
+            # ``gateway.stop()`` returning means every response has
+            # been written, but in-loop client coroutines (``submit``)
+            # may not have *read* theirs yet — give outstanding tasks a
+            # bounded chance to settle before the loop disappears, or
+            # their futures would report spurious timeouts.
+            asyncio.run_coroutine_threadsafe(
+                _settle_pending_tasks(), self.loop).result(
+                    timeout=STARTUP_TIMEOUT_S)
         finally:
             self.loop.call_soon_threadsafe(self.loop.stop)
             if self._thread is not None:

@@ -24,7 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs.logging import get_logger
 from .memory_system import MemorySystem
+
+log = get_logger("sim.timeline")
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,12 @@ class Timeline:
                 setattr(self._attached, method_name, original)
         self._originals.clear()
         self._attached = None
+        if self.dropped:
+            log.warning(
+                "timeline dropped %d event(s) past capacity=%d — "
+                "counts() and of_kind() cover only the first %d events",
+                self.dropped, self.capacity, len(self.events),
+            )
         return self
 
     def _wrap(self, original: Callable, kind: str,

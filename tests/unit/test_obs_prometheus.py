@@ -1,0 +1,97 @@
+"""Prometheus text exposition (format 0.0.4) of the metrics registry."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    render_registry,
+    render_snapshot,
+)
+
+
+def lines_of(text):
+    return text.splitlines()
+
+
+class TestContentType:
+    def test_carries_the_exposition_version(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestScalarRendering:
+    def test_counter_and_gauge_with_help(self):
+        reg = MetricsRegistry()
+        reg.counter("writes_done", "completed line writes").inc(41)
+        reg.gauge("queue_depth", "admission queue depth").set(7)
+        out = lines_of(render_registry(reg))
+        assert "# HELP writes_done completed line writes" in out
+        assert "# TYPE writes_done counter" in out
+        assert "writes_done 41" in out
+        assert "# TYPE queue_depth gauge" in out
+        assert "queue_depth 7" in out
+
+    def test_help_line_omitted_when_absent(self):
+        reg = MetricsRegistry()
+        reg.counter("bare").inc()
+        out = lines_of(render_registry(reg))
+        assert "# TYPE bare counter" in out
+        assert not any(line.startswith("# HELP bare") for line in out)
+
+    def test_non_finite_gauges(self):
+        snapshot = {"gauges": {"inf_g": math.inf, "nan_g": math.nan,
+                               "ninf_g": -math.inf}}
+        out = lines_of(render_snapshot(snapshot))
+        assert "inf_g +Inf" in out
+        assert "nan_g NaN" in out
+        assert "ninf_g -Inf" in out
+
+    def test_help_escaping(self):
+        out = render_snapshot({"counters": {"c": 1.0}},
+                              {"c": "line one\nback\\slash"})
+        assert "# HELP c line one\\nback\\\\slash" in out
+
+
+class TestHistogramRendering:
+    def test_log2_buckets_become_cumulative_le_series(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "latency")
+        for value in (0.5, 0.7, 1.5, 3.0, 3.5):  # buckets 0, 0, 1, 2, 2
+            hist.observe(value)
+        out = lines_of(render_registry(reg))
+        assert 'lat_bucket{le="1"} 2' in out      # [0,1)
+        assert 'lat_bucket{le="2"} 3' in out      # cumulative
+        assert 'lat_bucket{le="4"} 5' in out
+        assert 'lat_bucket{le="+Inf"} 5' in out
+        assert "lat_count 5" in out
+        [sum_line] = [l for l in out if l.startswith("lat_sum ")]
+        assert float(sum_line.split()[1]) == 9.2
+
+    def test_empty_histogram_still_renders_mandatory_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty_h", "no observations yet")
+        out = lines_of(render_registry(reg))
+        assert 'empty_h_bucket{le="+Inf"} 0' in out
+        assert "empty_h_sum 0" in out
+        assert "empty_h_count 0" in out
+
+
+class TestEmptyAndShape:
+    def test_empty_registry_renders_empty_string(self):
+        assert render_registry(MetricsRegistry()) == ""
+        assert render_snapshot({}) == ""
+
+    def test_output_ends_with_exactly_one_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc()
+        out = render_registry(reg)
+        assert out.endswith("\n") and not out.endswith("\n\n")
+
+    def test_every_line_is_comment_or_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc()
+        reg.gauge("g", "help").set(1)
+        reg.histogram("h", "help").observe(2.0)
+        for line in lines_of(render_registry(reg)):
+            assert line.startswith("#") or len(line.split(" ")) == 2

@@ -50,6 +50,104 @@ class TestTraceBuilder:
         assert doc["traceEvents"][0]["name"] == "wrq"
 
 
+class TestTraceBuilderEdgeCases:
+    def test_empty_trace_exports_valid_schema(self):
+        doc = TraceBuilder().to_dict()
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ns"
+        assert doc["otherData"] == {}
+        assert "wall_epoch_us" not in doc["otherData"]
+        json.loads(json.dumps(doc))  # serialisable as-is
+
+    def test_interleaved_counters_keep_emission_order(self):
+        """Counter samples from two series interleave by emission, and
+        export never reorders them — Perfetto sorts by ts itself, but
+        equal-ts samples must stay stable for deterministic output."""
+        tb = TraceBuilder()
+        tb.counter(0, "wrq", 100, {"wrq": 1.0})
+        tb.counter(0, "tokens", 100, {"tokens": 9.0})
+        tb.counter(0, "wrq", 200, {"wrq": 2.0})
+        tb.counter(0, "tokens", 200, {"tokens": 8.0})
+        events = tb.to_dict(freq_ghz=4.0)["traceEvents"]
+        assert [(e["name"], e["ts"]) for e in events] == [
+            ("wrq", cycles_to_us(100, 4.0)),
+            ("tokens", cycles_to_us(100, 4.0)),
+            ("wrq", cycles_to_us(200, 4.0)),
+            ("tokens", cycles_to_us(200, 4.0)),
+        ]
+
+    def test_duplicate_process_and_thread_naming_last_wins(self):
+        tb = TraceBuilder()
+        tb.process(7, "first name")
+        tb.thread(7, 1, "bank")
+        tb.process(7, "renamed")          # re-registration
+        tb.thread(7, 1, "bank renamed")
+        tb.thread(7, 2, "other tid")      # distinct key survives
+        meta = [e for e in tb.to_dict()["traceEvents"] if e["ph"] == "M"]
+        names = {(m["name"], m["pid"], m["tid"]): m["args"]["name"]
+                 for m in meta}
+        assert len(meta) == 3  # duplicates collapsed
+        assert names[("process_name", 7, 0)] == "renamed"
+        assert names[("thread_name", 7, 1)] == "bank renamed"
+        assert names[("thread_name", 7, 2)] == "other tid"
+
+    def test_merged_multi_pid_trace_round_trips(self, tmp_path):
+        """A worker's to_state() merged under a pid remap survives
+        JSON round-trip with the Perfetto schema fields intact and the
+        wall/sim timestamp domains both exported."""
+        worker = TraceBuilder()
+        worker.process(0, "worker run")
+        worker.thread(0, TID_BURST, "bursts")
+        worker.complete(0, TID_BURST, "write_round", 100, 600)
+        worker.complete_wall(0, 1, "worker.run", 1_700_000_000_000_000,
+                             2_500, args={"trace_id": "t" * 32})
+        state = json.loads(json.dumps(worker.to_state()))
+
+        parent = TraceBuilder()
+        parent.complete_wall(9, 1, "plan.execute",
+                             1_700_000_000_000_000 - 1_000, 5_000)
+        parent.merge(state, pid_map={0: 3})
+        parent.process(3, "worker run [merged]")
+
+        path = tmp_path / "merged.json"
+        parent.write(path, freq_ghz=4.0)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        for event in events:
+            assert {"ph", "pid", "tid", "name"} <= set(event)
+            assert "wall" not in event  # internal flag never exported
+        assert {e["pid"] for e in events} == {3, 9}
+        sim = next(e for e in events if e["name"] == "write_round")
+        assert sim["pid"] == 3 and sim["ts"] == cycles_to_us(100, 4.0)
+        walls = {e["name"]: e for e in events if e.get("cat") == "trace"}
+        # Wall events normalise against the earliest wall ts (parent's).
+        assert walls["plan.execute"]["ts"] == 0.0
+        assert walls["worker.run"]["ts"] == 1_000.0
+        assert walls["worker.run"]["args"]["trace_id"] == "t" * 32
+        assert doc["otherData"]["wall_epoch_us"] == (
+            1_700_000_000_000_000 - 1_000)
+        [proc_meta] = [e for e in events if e["ph"] == "M"
+                       and e["name"] == "process_name" and e["pid"] == 3]
+        assert proc_meta["args"]["name"] == "worker run [merged]"
+
+    def test_merge_accepts_builder_and_unmapped_pids_pass_through(self):
+        source = TraceBuilder()
+        source.complete(5, 0, "kept", 10, 20)
+        target = TraceBuilder()
+        target.merge(source, pid_map={99: 1})
+        [event] = target.to_dict()["traceEvents"]
+        assert event["pid"] == 5
+
+    def test_from_state_reconstructs_builder(self):
+        original = TraceBuilder()
+        original.process(1, "p")
+        original.instant(1, 0, "mark", 42)
+        rebuilt = TraceBuilder.from_state(
+            json.loads(json.dumps(original.to_state())))
+        assert rebuilt.to_dict(freq_ghz=2.0) == original.to_dict(
+            freq_ghz=2.0)
+
+
 class TestTelemetryRun:
     def test_round_scopes_match_stats(self, observed_run):
         telemetry, result = observed_run

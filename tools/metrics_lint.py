@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Static lint for metric instrument registrations.
+
+Scans ``src/**/*.py`` for ``.counter(...)``, ``.gauge(...)`` and
+``.histogram(...)`` calls whose first argument is a string literal and
+enforces the naming contract that keeps the Prometheus exposition
+(``repro.obs.prometheus``) and the metrics catalog in
+``docs/observability.md`` coherent:
+
+* names are ``snake_case``: ``^[a-z][a-z0-9_]*$`` (Prometheus-safe
+  without escaping, greppable, consistent with the existing catalog);
+* every name is registered once — or, when a name intentionally appears
+  at several call sites, every site agrees on the instrument kind and
+  help text (the registry would raise on kind conflicts only at
+  runtime; the lint catches drifting help strings too);
+* help text is a non-empty string literal, because ``# HELP`` lines
+  with empty or missing text render a useless scrape.
+
+Calls whose name argument is not a literal (dynamic registration) are
+skipped — the lint is a static net, not a proof.
+
+Usage::
+
+    python tools/metrics_lint.py [src ...]
+
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+KINDS = ("counter", "gauge", "histogram")
+
+
+def _literal_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _registrations(path: pathlib.Path) -> List[Tuple[str, int, str,
+                                                     Optional[str]]]:
+    """Yield ``(kind, lineno, name, help_text)`` for every instrument
+    registration with a literal name in ``path``."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:  # the tier-1 suite will flag it anyway
+        print(f"{path}:{exc.lineno}: unparseable: {exc.msg}",
+              file=sys.stderr)
+        return []
+    found = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in KINDS):
+            continue
+        name = _literal_str(node.args[0] if node.args else None)
+        if name is None:
+            continue  # dynamic name; out of scope for a static lint
+        help_node = node.args[1] if len(node.args) > 1 else next(
+            (kw.value for kw in node.keywords if kw.arg == "help"),
+            None)
+        found.append((node.func.attr, node.lineno, name,
+                      _literal_str(help_node)))
+    return found
+
+
+def lint(roots: List[pathlib.Path]) -> List[str]:
+    problems: List[str] = []
+    seen: Dict[str, Tuple[str, str, Optional[str]]] = {}
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            for kind, lineno, name, help_text in _registrations(path):
+                where = f"{path}:{lineno}"
+                if not NAME_RE.match(name):
+                    problems.append(
+                        f"{where}: metric name {name!r} is not snake_case "
+                        f"(^[a-z][a-z0-9_]*$)")
+                if not help_text:
+                    problems.append(
+                        f"{where}: metric {name!r} needs a non-empty "
+                        f"literal help text")
+                prior = seen.get(name)
+                if prior is None:
+                    seen[name] = (where, kind, help_text)
+                elif (kind, help_text) != prior[1:]:
+                    problems.append(
+                        f"{where}: metric {name!r} re-registered as "
+                        f"{kind}/{help_text!r}; first seen at {prior[0]} "
+                        f"as {prior[1]}/{prior[2]!r}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    roots = [pathlib.Path(arg) for arg in argv] or [
+        pathlib.Path(__file__).resolve().parent.parent / "src"]
+    for root in roots:
+        if not root.exists():
+            print(f"metrics-lint: no such path: {root}", file=sys.stderr)
+            return 2
+    problems = lint(roots)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"metrics-lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    total = sum(len(_registrations(p))
+                for root in roots for p in root.rglob("*.py"))
+    print(f"metrics-lint: OK ({total} literal registrations checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
