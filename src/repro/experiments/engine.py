@@ -84,10 +84,12 @@ from ..errors import WorkerTimeoutError
 from ..obs import tracing
 from ..obs.logging import get_logger, log_context
 from ..obs.manifest import _jsonable
+from ..sim.checkpoint import CheckpointPlan, CheckpointStore
 from ..testing.faults import maybe_inject
 from .base import (
     RunRequest,
     _SIM_CACHE,
+    active_checkpoints,
     active_disk_cache,
     active_telemetry,
     clear_failed_runs,
@@ -117,8 +119,24 @@ def dedupe_requests(requests: Iterable[RunRequest]) -> List[RunRequest]:
     return list(unique.values())
 
 
+def _checkpoint_plan(request: RunRequest,
+                     ckpt: Optional[Dict[str, object]]
+                     ) -> Optional[CheckpointPlan]:
+    """Rebuild a run's checkpoint plan from the engine's worker spec
+    (workers are fresh processes; the parent's :func:`use_checkpoints`
+    setting doesn't reach them, so its store dir travels explicitly)."""
+    if ckpt is None:
+        return None
+    return CheckpointPlan(
+        store=CheckpointStore(str(ckpt["dir"])),
+        fingerprint=request.fingerprint,
+        every_writes=int(ckpt["every_writes"]),
+    )
+
+
 def _worker_execute(
     request: RunRequest, obs: Optional[Dict[str, object]] = None,
+    ckpt: Optional[Dict[str, object]] = None,
 ) -> Tuple[str, object, int, Optional[str]]:
     """Process-pool entry point: compute one run, uncached, tagged with
     the worker's PID for provenance.
@@ -129,10 +147,18 @@ def _worker_execute(
     content-addressed sidecar file; the returned 4th element is its
     path (``None`` when capture is off or spooling failed — sidecar
     trouble must never fail the run).
+
+    With a ``ckpt`` spec (``dir`` / ``every_writes``) the run
+    checkpoints its state as it goes and — the resume half of the
+    engine's retry path — continues from the latest valid capsule left
+    by a previous attempt instead of re-executing from write 0.
     """
     maybe_inject("worker_run", key=request_key(request))
+    plan = _checkpoint_plan(request, ckpt)
     if obs is None:
-        return request.fingerprint, execute_request(request), os.getpid(), None
+        return (request.fingerprint,
+                execute_request(request, checkpoint=plan),
+                os.getpid(), None)
 
     from ..obs.telemetry import Telemetry
 
@@ -152,7 +178,8 @@ def _worker_execute(
             attrs={"workload": request.workload, "scheme": request.scheme,
                    "role": "worker"},
         ):
-            result = execute_request(request, telemetry=telemetry)
+            result = execute_request(request, telemetry=telemetry,
+                                     checkpoint=plan)
     sidecar = _spool_sidecar(telemetry, fingerprint,
                              str(obs.get("spool_dir") or ""))
     return fingerprint, result, os.getpid(), sidecar
@@ -212,6 +239,20 @@ class _PlanExecutor:
         self.aborted = False
         self.disk = active_disk_cache()
         self.telemetry = active_telemetry()
+        # Checkpoint/resume: the process-wide setting is serialized into
+        # a per-submission spec (workers rebuild the store from its dir),
+        # and the parent keeps its own store handle to read capsule
+        # progress when judging failures.
+        self.ckpt_store: Optional[CheckpointStore] = None
+        self.ckpt_spec: Optional[Dict[str, object]] = None
+        checkpoints = active_checkpoints()
+        if checkpoints is not None:
+            store, every_writes = checkpoints
+            self.ckpt_store = store
+            self.ckpt_spec = {
+                "dir": str(store.root),
+                "every_writes": every_writes,
+            }
         # Worker-side telemetry capture: sidecars land next to the disk
         # cache entries when there is a disk cache (content-addressed
         # artifacts worth keeping), else in a temp spool removed after
@@ -303,7 +344,8 @@ class _PlanExecutor:
                 "parent_span_id":
                     context.span_id if context is not None else None,
             }
-        future = self.pool.submit(_worker_execute, request, obs)
+        future = self.pool.submit(_worker_execute, request, obs,
+                                  self.ckpt_spec)
         self.futures[future] = _Flight(request, attempt, deadline, isolated)
 
     def _defer(self, request: RunRequest, attempt: int, delay: float,
@@ -374,8 +416,24 @@ class _PlanExecutor:
                 self.telemetry.record_external_run(result, worker=worker_pid)
         self.summary["computed"] += 1
 
+    def _checkpoint_progress(self, request: RunRequest) -> Optional[int]:
+        """Writes completed by the run's newest capsule, or ``None``.
+        Read from the capsule header only — cheap enough for the failure
+        path, and a lying header merely misjudges retry budget, never
+        correctness (the resume path fully validates)."""
+        if self.ckpt_store is None:
+            return None
+        meta = self.ckpt_store.latest_meta(request.fingerprint)
+        if meta is None:
+            return None
+        writes_done = meta.get("writes_done")
+        return int(writes_done) if isinstance(writes_done, int) else None
+
     def _handle_failure(self, flight: _Flight, exc: BaseException) -> None:
-        verdict, delay = self.supervisor.on_failure(flight.request, exc)
+        verdict, delay = self.supervisor.on_failure(
+            flight.request, exc,
+            progress=self._checkpoint_progress(flight.request),
+        )
         request = flight.request
         if verdict == RETRY:
             self.summary["retried"] += 1

@@ -44,6 +44,12 @@ assigned parent pid, span count, sidecar path). Worker-computed
 ``fingerprint``/``trace_id``; ``sim_run.series`` entries gain a
 ``dropped`` count and runs a ``samples_dropped`` total.
 
+The checkpoint/resume plane (v6) adds ``checkpoint`` (one per capsule
+lifecycle step: ``action`` ``save``/``resume``/``discard``, run
+fingerprint, writes_done/cycle progress, capsule path or the error that
+invalidated it — see :mod:`repro.sim.checkpoint` and
+docs/robustness.md).
+
 See docs/observability.md and docs/service.md for the full schema.
 """
 
@@ -66,7 +72,11 @@ from typing import Dict, Iterable, List, Optional, Union
 #: ``service_summary``, ``service_state``.
 #: v5: tracing-plane records — ``span``, ``worker_telemetry`` — plus
 #: instrumented worker ``sim_run`` records and sample-drop counts.
-MANIFEST_SCHEMA_VERSION = 5
+#: v6: ``checkpoint`` records — one per capsule lifecycle step
+#: (``action`` save/resume/discard, fingerprint, writes_done, cycle,
+#: capsule path or discard error) — emitted by the checkpoint/resume
+#: plane, including from engine workers via sidecar merge.
+MANIFEST_SCHEMA_VERSION = 6
 
 
 def _jsonable(value):

@@ -19,9 +19,12 @@ from __future__ import annotations
 import asyncio
 import math
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
+from ..obs.logging import get_logger
 from .schemas import BusyError, DrainingError
+
+log = get_logger("service.admission")
 
 #: Service-time prior (seconds) used until the first run completes.
 DEFAULT_RUN_SECONDS = 2.0
@@ -45,6 +48,16 @@ class AdmissionQueue:
         self.rejected = 0
         self.ewma_run_s = DEFAULT_RUN_SECONDS
         self.peak_depth = 0
+        #: Non-positive service-time samples refused by
+        #: :meth:`observe_run_seconds` — exported as the
+        #: ``service_ewma_rejected_samples`` metric. A nonzero count
+        #: means a caller is timing runs with a clock that can step
+        #: backwards (or passing garbage), which would poison the
+        #: Retry-After estimate.
+        self.ewma_rejected_samples = 0
+        #: Optional hook fired once per refused sample (the gateway
+        #: wires it to its ``service_ewma_rejected_samples`` counter).
+        self.on_rejected_sample: Optional[Callable[[], None]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -101,8 +114,21 @@ class AdmissionQueue:
         return batch
 
     def observe_run_seconds(self, seconds: float) -> None:
-        """Fold one completed run's service time into the EWMA."""
+        """Fold one completed run's service time into the EWMA.
+
+        Non-positive samples are refused *loudly*: logged and counted
+        (``ewma_rejected_samples``), never folded in — a zero or
+        negative service time would drag the EWMA toward an impossible
+        value and make ``Retry-After`` lie to clients.
+        """
         if seconds <= 0:
+            self.ewma_rejected_samples += 1
+            if self.on_rejected_sample is not None:
+                self.on_rejected_sample()
+            log.warning(
+                "refusing non-positive service-time sample %.6fs "
+                "(%d refused so far); check the caller's clock",
+                seconds, self.ewma_rejected_samples)
             return
         self.ewma_run_s += EWMA_ALPHA * (seconds - self.ewma_run_s)
 
@@ -119,5 +145,6 @@ class AdmissionQueue:
             "admitted": self.admitted,
             "rejected": self.rejected,
             "ewma_run_s": round(self.ewma_run_s, 3),
+            "ewma_rejected_samples": self.ewma_rejected_samples,
             "closed": self._closed,
         }

@@ -40,7 +40,9 @@ JSON snapshot by default and Prometheus text format 0.0.4 under
 ``Accept: text/plain``. ``GET /watch?fingerprint=...`` streams
 newline-delimited JSON progress events (queued → running → retry →
 done, plus periodic counter deltas) over chunked transfer encoding
-while a run is in flight.
+while a run is in flight; with checkpointing installed (``serve
+--checkpoint-every``) the stream also carries ``checkpoint`` lifecycle
+records as the run's capsules advance (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -56,7 +58,9 @@ from typing import Dict, List, Optional, Tuple
 from ..experiments.base import (
     RunRequest,
     _SIM_CACHE,
+    active_checkpoints,
     active_disk_cache,
+    cache_get,
     failed_runs,
 )
 from ..experiments.engine import dedupe_requests, execute_plan
@@ -175,6 +179,11 @@ class Gateway:
             "service_runs_failed", "runs that failed under supervision")
         self._c_batches = reg.counter(
             "service_batches", "engine dispatch batches")
+        self._c_ewma_rejected = reg.counter(
+            "service_ewma_rejected_samples",
+            "non-positive service-time samples refused by the "
+            "admission EWMA")
+        self.admission.on_rejected_sample = self._c_ewma_rejected.inc
         self._g_queue = reg.gauge(
             "service_queue_depth", "admission-queue depth")
         self._g_inflight = reg.gauge(
@@ -438,7 +447,7 @@ class Gateway:
         outcomes: Dict[str, Tuple[object, str]] = {}
         for request in requests:
             key = request.fingerprint
-            result = _SIM_CACHE.get(key)
+            result = cache_get(key)  # LRU: refresh recency on delivery
             if result is not None:
                 outcomes[key] = (
                     result, "disk" if key in on_disk else "computed")
@@ -451,16 +460,20 @@ class Gateway:
         return outcomes
 
     def _trim_sim_cache(self) -> None:
-        """Bound the long-lived daemon's in-memory result cache by
-        evicting oldest-inserted entries (dict order); the disk cache,
-        when installed, still holds everything evicted."""
+        """Bound the long-lived daemon's in-memory result cache with LRU
+        eviction: every hit moves its entry to the back of the dict's
+        insertion order (:func:`repro.experiments.base.cache_get`), so
+        the front is always the least recently *used* entry — a popular
+        fingerprint re-requested every minute survives trims that a
+        once-touched sweep entry does not. The disk cache, when
+        installed, still holds everything evicted."""
         excess = len(_SIM_CACHE) - self.memory_cache_limit
         if excess <= 0:
             return
         for key in list(_SIM_CACHE)[:excess]:
             del _SIM_CACHE[key]
-        log.debug("evicted %d in-memory results (limit %d)", excess,
-                  self.memory_cache_limit)
+        log.debug("evicted %d least-recently-used in-memory results "
+                  "(limit %d)", excess, self.memory_cache_limit)
 
     # ==================================================================
     # Request handling
@@ -470,7 +483,7 @@ class Gateway:
         admission; returns ``(SimResult, source)`` or raises a
         :class:`ServiceError`."""
         fingerprint = request.fingerprint
-        result = _SIM_CACHE.get(fingerprint)
+        result = cache_get(fingerprint)  # LRU: a hit refreshes recency
         if result is not None:
             self._c_hit_memory.inc()
             self._count_source("memory")
@@ -718,11 +731,29 @@ class Gateway:
 
             last_counters = dict(
                 self.registry.snapshot().get("counters") or {})
+            # With checkpointing on, poll the run's newest capsule each
+            # tick: workers save capsules mid-run but their telemetry
+            # only merges at completion, so the header peek is the one
+            # live progress signal a watcher can get.
+            checkpoints = active_checkpoints()
+            last_ckpt_writes = -1
             while True:
                 try:
                     event = await asyncio.wait_for(
                         queue.get(), timeout=self.watch_tick_s)
                 except asyncio.TimeoutError:
+                    if checkpoints is not None:
+                        meta = checkpoints[0].latest_meta(fingerprint)
+                        writes = (int(meta.get("writes_done", -1))
+                                  if meta else -1)
+                        if writes > last_ckpt_writes:
+                            last_ckpt_writes = writes
+                            await self._write_chunk(writer, {
+                                "event": "checkpoint", "action": "save",
+                                "fingerprint": fingerprint,
+                                "writes_done": writes,
+                                "cycle": meta.get("cycle"),
+                                "ts": time.time()})
                     counters = dict(
                         self.registry.snapshot().get("counters") or {})
                     delta = {name: value - last_counters.get(name, 0)

@@ -1,5 +1,12 @@
 """Event-driven timing simulation of the MLC PCM memory subsystem."""
 
+from .checkpoint import (
+    CKPT_SCHEMA_VERSION,
+    Capsule,
+    Checkpointer,
+    CheckpointPlan,
+    CheckpointStore,
+)
 from .cpu import Core
 from .debug import Timeline, TimelineEvent
 from .events import SimEngine
@@ -9,6 +16,11 @@ from .simcache import SIM_SCHEMA_VERSION, SimCache, run_fingerprint
 from .stats import SimStats
 
 __all__ = [
+    "Capsule",
+    "Checkpointer",
+    "CheckpointPlan",
+    "CheckpointStore",
+    "CKPT_SCHEMA_VERSION",
     "Core",
     "MemorySystem",
     "ReadRequest",

@@ -19,6 +19,7 @@ Implements the paper's baseline architecture (Figure 1, Section 5.1):
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
@@ -69,7 +70,13 @@ class WriteJob:
 
 
 class MemorySystem:
-    """Controller + bridge + DIMM, driven by :class:`SimEngine`."""
+    """Controller + bridge + DIMM, driven by :class:`SimEngine`.
+
+    Every callback handed to the engine must be a bound method or a
+    :func:`functools.partial` over one — never a closure — so a mid-run
+    :meth:`SimEngine.snapshot` can pickle the whole system for
+    checkpoint/resume (``repro.sim.checkpoint``).
+    """
 
     def __init__(
         self,
@@ -272,15 +279,14 @@ class MemorySystem:
         self._resp_in_flight += 1
         self._channel_free = max(self._channel_free, done) + self._channel_cycles
         finish = self._channel_free
+        self.engine.schedule(finish, partial(self._read_complete, req))
 
-        def _complete(t: int, req=req) -> None:
-            self._resp_in_flight -= 1
-            self.stats.reads_done += 1
-            self.stats.read_latency_sum += t - req.arrival
-            req.on_done(t)
-            self.kick(t)
-
-        self.engine.schedule(finish, _complete)
+    def _read_complete(self, req: ReadRequest, now: int) -> None:
+        self._resp_in_flight -= 1
+        self.stats.reads_done += 1
+        self.stats.read_latency_sum += now - req.arrival
+        req.on_done(now)
+        self.kick(now)
 
     def _preempt_write_for_read(
         self, req: ReadRequest, write: WriteOperation, now: int
@@ -419,7 +425,7 @@ class MemorySystem:
             # Nothing changed: a verify-only write (read + compare).
             self.engine.schedule(
                 now + self.timing.read_cycles,
-                lambda t, j=job, w=write: self._finish_round(j, w, t),
+                partial(self._finish_round, job, write),
             )
             return
         delay = 0
@@ -442,7 +448,7 @@ class MemorySystem:
         first = self.timing.iteration_cycles(0, write.n_reset_iterations)
         self.engine.schedule(
             now + delay + first,
-            lambda t, j=job, w=write: self._iteration_boundary(j, w, 0, t),
+            partial(self._iteration_boundary, job, write, 0),
         )
 
     def _iteration_boundary(
@@ -462,9 +468,7 @@ class MemorySystem:
             dur = self.timing.iteration_cycles(i + 1, write.n_reset_iterations)
             self.engine.schedule(
                 now + dur,
-                lambda t, j=job, w=write, n=i + 1: self._iteration_boundary(
-                    j, w, n, t
-                ),
+                partial(self._iteration_boundary, job, write, i + 1),
             )
         else:  # stall
             write.state = WriteState.STALLED
@@ -513,8 +517,10 @@ class MemorySystem:
             )
             self.engine.schedule(
                 now + dur,
-                lambda t, j=job, w=write, n=write.current_iteration:
-                    self._iteration_boundary(j, w, n, t),
+                partial(
+                    self._iteration_boundary, job, write,
+                    write.current_iteration,
+                ),
             )
         self.paused = still
 
@@ -533,8 +539,10 @@ class MemorySystem:
                 )
                 self.engine.schedule(
                     now + dur,
-                    lambda t, j=job, w=write, n=write.current_iteration:
-                        self._iteration_boundary(j, w, n, t),
+                    partial(
+                        self._iteration_boundary, job, write,
+                        write.current_iteration,
+                    ),
                 )
             else:
                 still.append((job, write))

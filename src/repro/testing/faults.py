@@ -29,6 +29,13 @@ point           fires from                            key
 ``serial_run``  parent process, before a lazy run     ``workload/scheme/fingerprint``
 ``cache_put``   :meth:`SimCache.put`, before writing  cache key (fingerprint)
 ``cache_corrupt`` :meth:`SimCache.put`, on the bytes  cache key (fingerprint)
+``ckpt_put``    :meth:`CheckpointStore.put`, before   ``fingerprint:writes_done``
+                writing a capsule
+``ckpt_corrupt`` :meth:`CheckpointStore.put`, on the  fingerprint
+                capsule bytes
+``sim_progress`` :class:`~repro.sim.checkpoint.       ``fingerprint:writes_done``
+                Checkpointer`, once per completed
+                write (mid-run, between boundaries)
 =============== ===================================== ==================
 
 Determinism: firing depends only on the plan and the sequence of

@@ -1,0 +1,385 @@
+"""Checkpoint/resume chaos suite: the acceptance bar of the
+checkpointing work.
+
+A run interrupted mid-simulation — by an in-process error, a
+hard-killed worker (at a capsule boundary and between boundaries), or a
+hang abandoned by the watchdog — must resume from its latest valid
+capsule and produce a :class:`SimResult` **byte-identical** to an
+uninterrupted run, on both kernels, including against the golden
+fingerprint corpus. Corrupted capsules must be detected, discarded, and
+the run restarted clean from write 0. Faults are deterministic
+(:mod:`repro.testing.faults`); ``stamp`` files make crash/hang faults
+fire exactly once across worker generations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config.system import config_fingerprint
+from repro.experiments import golden
+from repro.experiments.base import (
+    RunRequest,
+    RunScale,
+    _SIM_CACHE,
+    clear_failed_runs,
+    clear_sim_cache,
+    use_checkpoints,
+    use_disk_cache,
+    use_telemetry,
+)
+from repro.experiments.engine import execute_plan
+from repro.experiments.resilience import RetryPolicy
+from repro.kernel import available_kernels
+from repro.obs import Telemetry
+from repro.sim.checkpoint import CheckpointPlan, CheckpointStore
+from repro.sim.runner import run_simulation
+from repro.sim.simcache import SimCache
+from repro.testing.faults import (
+    ENV_VAR,
+    FaultSpec,
+    clear_faults,
+    install_faults,
+)
+
+from ..conftest import make_tiny_config
+
+MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
+
+CORPUS_PATH = Path(__file__).parent.parent / "paper" / \
+    "golden_fingerprints.json"
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+    use_checkpoints(None)
+    use_telemetry(None)
+    yield
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+    use_checkpoints(None)
+    use_telemetry(None)
+
+
+def result_bytes(result):
+    """Every byte a run produced, for exact-equality assertions."""
+    return (result.cycles, result.cpi, result.stats.snapshot(),
+            list(result.stats.core_instructions),
+            list(result.stats.core_finish_cycles),
+            result.result_fingerprint())
+
+
+def plan_for(tmp_path, fingerprint, every=50):
+    store = CheckpointStore(tmp_path / "ckpt")
+    return CheckpointPlan(store=store, fingerprint=fingerprint,
+                          every_writes=every), store
+
+
+class TestInProcessResume:
+    """run_simulation(checkpoint=...) driven directly — no pool."""
+
+    N_WRITES = 200
+    FP = "ab" + "0" * 62
+
+    def _run(self, cfg, checkpoint=None, telemetry=None):
+        return run_simulation(cfg, "tig_m", "fpb",
+                              n_pcm_writes=self.N_WRITES,
+                              telemetry=telemetry, checkpoint=checkpoint)
+
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_checkpointing_never_changes_results(self, tmp_path, kernel):
+        """The read-only-hook guarantee, end to end: a run that
+        checkpoints (but never crashes) is byte-identical to one that
+        does not, and leaves no capsules behind."""
+        cfg = make_tiny_config().with_kernel(kernel)
+        baseline = self._run(cfg)
+        plan, store = plan_for(tmp_path, self.FP)
+        with_ckpt = self._run(cfg, checkpoint=plan)
+        assert result_bytes(with_ckpt) == result_bytes(baseline)
+        assert store.stores > 0
+        assert store.latest(self.FP) is None  # discarded on success
+
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path,
+                                                    kernel):
+        cfg = make_tiny_config().with_kernel(kernel)
+        baseline = self._run(cfg)
+        plan, store = plan_for(tmp_path, self.FP, every=50)
+        install_faults([FaultSpec(point="sim_progress", error="OSError",
+                                  match=f"{self.FP}:123")])
+        with pytest.raises(OSError):
+            self._run(cfg, checkpoint=plan)
+        clear_faults()
+        # Died at write 123: the newest capsule is the write-100 boundary.
+        assert store.latest_meta(self.FP)["writes_done"] == 100
+        resumed = self._run(cfg, checkpoint=plan)
+        assert result_bytes(resumed) == result_bytes(baseline)
+        assert store.latest(self.FP) is None
+
+    def test_resumed_runs_agree_across_kernels(self, tmp_path):
+        """Cross-kernel byte-identity must survive interruption: resume
+        one kernel's run, run the other uninterrupted — equal."""
+        fingerprints = {}
+        for kernel in available_kernels():
+            cfg = make_tiny_config().with_kernel(kernel)
+            fp = kernel.ljust(64, "0")
+            plan, store = plan_for(tmp_path / kernel, fp, every=50)
+            install_faults([FaultSpec(point="sim_progress",
+                                      error="OSError",
+                                      match=f"{fp}:123")])
+            with pytest.raises(OSError):
+                self._run(cfg, checkpoint=plan)
+            clear_faults()
+            fingerprints[kernel] = self._run(
+                cfg, checkpoint=plan).result_fingerprint()
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_corrupted_capsules_discarded_clean_restart(self, tmp_path):
+        cfg = make_tiny_config()
+        baseline = self._run(cfg)
+        plan, store = plan_for(tmp_path, self.FP, every=50)
+        install_faults([FaultSpec(point="sim_progress", error="OSError",
+                                  match=f"{self.FP}:123")])
+        with pytest.raises(OSError):
+            self._run(cfg, checkpoint=plan)
+        clear_faults()
+        capsules = list(store.dir_for(self.FP).glob("*.ckpt"))
+        assert capsules
+        for path in capsules:  # every fallback is damaged too
+            raw = path.read_bytes()
+            path.write_bytes(raw[:-4] + bytes(4))
+        restarted = self._run(cfg, checkpoint=plan)
+        assert store.corrupt == len(capsules)
+        assert result_bytes(restarted) == result_bytes(baseline)
+
+    def test_truncated_capsule_falls_back_to_older(self, tmp_path):
+        cfg = make_tiny_config()
+        baseline = self._run(cfg)
+        plan, store = plan_for(tmp_path, self.FP, every=50)
+        install_faults([FaultSpec(point="sim_progress", error="OSError",
+                                  match=f"{self.FP}:173")])
+        with pytest.raises(OSError):
+            self._run(cfg, checkpoint=plan)
+        clear_faults()
+        capsules = sorted(store.dir_for(self.FP).glob("*.ckpt"))
+        assert len(capsules) == 2  # boundaries 100 and 150 retained
+        newest = capsules[-1]
+        newest.write_bytes(newest.read_bytes()[:40])
+        resumed = self._run(cfg, checkpoint=plan)
+        assert store.corrupt == 1
+        assert result_bytes(resumed) == result_bytes(baseline)
+
+    def test_telemetry_records_the_capsule_lifecycle(self, tmp_path):
+        cfg = make_tiny_config()
+        plan, store = plan_for(tmp_path, self.FP, every=50)
+        install_faults([FaultSpec(point="sim_progress", error="OSError",
+                                  match=f"{self.FP}:123")])
+        interrupted = Telemetry()
+        with pytest.raises(OSError):
+            self._run(cfg, checkpoint=plan, telemetry=interrupted)
+        clear_faults()
+        saves = [r for r in interrupted.resilience_events
+                 if r.get("type") == "checkpoint"]
+        assert [r["action"] for r in saves] == ["save", "save"]
+        assert [r["writes_done"] for r in saves] == [50, 100]
+
+        resumed = Telemetry()
+        self._run(cfg, checkpoint=plan, telemetry=resumed)
+        events = [r for r in resumed.resilience_events
+                  if r.get("type") == "checkpoint"]
+        assert events[0]["action"] == "resume"
+        assert events[0]["writes_done"] == 100
+        assert events[0]["fingerprint"] == self.FP
+
+
+class TestEngineChaosResume:
+    """Supervised engine runs, real worker processes, real kills."""
+
+    def _truth(self, config, request):
+        clear_sim_cache()
+        result = run_simulation(
+            config, request.workload, request.scheme,
+            n_pcm_writes=MICRO.n_pcm_writes,
+            max_refs_per_core=MICRO.max_refs_per_core)
+        clear_sim_cache()
+        return result_bytes(result)
+
+    def _execute(self, request, policy=None):
+        return execute_plan(
+            [request], jobs=2,
+            policy=policy or RetryPolicy(max_attempts=3,
+                                         backoff_base_s=0.01,
+                                         backoff_cap_s=0.05,
+                                         max_pool_respawns=8))
+
+    def test_worker_killed_at_checkpoint_boundary(self, tmp_path,
+                                                  monkeypatch):
+        """Hard kill (os._exit) exactly when the worker is about to
+        write its second capsule: the write-10 capsule survives, the
+        retry resumes from it, and the result is byte-identical."""
+        config = make_tiny_config()
+        request = RunRequest(config, "tig_m", "fpb", MICRO)
+        truth = self._truth(config, request)
+        store = CheckpointStore(tmp_path / "ckpt")
+        use_checkpoints(store, 10)
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        telemetry = Telemetry()
+        use_telemetry(telemetry)
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "ckpt_put", "mode": "crash", "nth": 2,
+            "match": request.fingerprint,
+            "stamp": str(tmp_path / "boundary.stamp"),
+        }]))
+        summary = self._execute(request)
+        assert summary["computed"] == 1
+        assert summary["failed"] == summary["quarantined"] == 0
+        assert result_bytes(_SIM_CACHE[request.fingerprint]) == truth
+        # The retry genuinely resumed (not silently restarted): the
+        # worker's merged telemetry carries the resume record.
+        actions = [r["action"] for r in telemetry.resilience_events
+                   if r.get("type") == "checkpoint"]
+        assert "resume" in actions
+        resume = next(r for r in telemetry.resilience_events
+                      if r.get("type") == "checkpoint"
+                      and r["action"] == "resume")
+        assert resume["writes_done"] == 10
+
+    def test_worker_killed_between_boundaries(self, tmp_path,
+                                              monkeypatch):
+        """Kill at write 15 — mid-interval, after the write-10 capsule:
+        resume picks up the boundary capsule and replays the tail."""
+        config = make_tiny_config()
+        request = RunRequest(config, "tig_m", "fpb", MICRO)
+        truth = self._truth(config, request)
+        store = CheckpointStore(tmp_path / "ckpt")
+        use_checkpoints(store, 10)
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "sim_progress", "mode": "crash",
+            "match": f"{request.fingerprint}:15",
+            "stamp": str(tmp_path / "midrun.stamp"),
+        }]))
+        summary = self._execute(request)
+        assert summary["computed"] == 1
+        assert summary["failed"] == summary["quarantined"] == 0
+        assert result_bytes(_SIM_CACHE[request.fingerprint]) == truth
+        assert store.latest(request.fingerprint) is None  # cleaned up
+
+    def test_hung_worker_abandoned_then_resumed(self, tmp_path,
+                                                monkeypatch):
+        """A mid-run hang past the wall-clock budget: the watchdog
+        abandons the worker, and the retry resumes from the last capsule
+        instead of re-executing from write 0."""
+        config = make_tiny_config()
+        request = RunRequest(config, "tig_m", "fpb", MICRO)
+        truth = self._truth(config, request)
+        store = CheckpointStore(tmp_path / "ckpt")
+        use_checkpoints(store, 10)
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        monkeypatch.setenv(ENV_VAR, json.dumps([{
+            "point": "sim_progress", "mode": "hang", "hang_s": 120.0,
+            "match": f"{request.fingerprint}:15",
+            "stamp": str(tmp_path / "hang.stamp"),
+        }]))
+        policy = RetryPolicy(max_attempts=2, run_timeout_s=4.0,
+                             backoff_base_s=0.01, max_pool_respawns=4)
+        summary = self._execute(request, policy=policy)
+        assert summary["computed"] == 1
+        assert summary["timeouts"] == 1
+        assert summary["failed"] == 0
+        assert result_bytes(_SIM_CACHE[request.fingerprint]) == truth
+
+    def test_crash_every_interval_converges_on_progress(self, tmp_path,
+                                                        monkeypatch):
+        """The forward-progress contract end to end: a worker that dies
+        at *every* capsule boundary after the first would exhaust a
+        2-attempt budget — but each attempt checkpoints further, so the
+        budget keeps resetting and the run completes."""
+        config = make_tiny_config()
+        request = RunRequest(config, "tig_m", "fpb", MICRO)
+        truth = self._truth(config, request)
+        store = CheckpointStore(tmp_path / "ckpt")
+        use_checkpoints(store, 10)
+        use_disk_cache(SimCache(tmp_path / "cache"))
+        # Crash on the 2nd capsule write of each worker generation:
+        # capsule N survives, the kill lands on N+1. Three one-shot
+        # stamped specs = three kills across successive workers.
+        monkeypatch.setenv(ENV_VAR, json.dumps([
+            {"point": "ckpt_put", "mode": "crash", "nth": 2,
+             "match": request.fingerprint,
+             "stamp": str(tmp_path / f"kill{i}.stamp")}
+            for i in range(3)
+        ]))
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.01,
+                             backoff_cap_s=0.05, max_pool_respawns=10)
+        summary = self._execute(request, policy=policy)
+        assert summary["computed"] == 1
+        assert summary["failed"] == summary["quarantined"] == 0
+        assert result_bytes(_SIM_CACHE[request.fingerprint]) == truth
+
+
+class TestGoldenConformanceAfterResume:
+    """A resumed run must match the pinned golden corpus bit for bit —
+    the same bar an uninterrupted run is held to — on both kernels."""
+
+    def test_resumed_run_matches_corpus(self, tmp_path):
+        document = golden.load_corpus(CORPUS_PATH)
+        scale = golden.corpus_scale(document)
+        request, _ = golden.corpus_runs(scale,
+                                        seed=int(document["seed"]))[0]
+        key = (request.workload, request.scheme,
+               config_fingerprint(request.config))
+        entry = next(
+            e for e in document["runs"]
+            if (e["workload"], e["scheme"], e["config"]) == key)
+        for kernel in document["kernels"]:
+            cfg = request.config.with_kernel(kernel)
+            fp = kernel.ljust(64, "0")
+            plan, store = plan_for(tmp_path / kernel, fp, every=50)
+            # Interrupt early (write 60) so the test costs little more
+            # than the one full run the resume performs.
+            install_faults([FaultSpec(point="sim_progress",
+                                      error="OSError",
+                                      match=f"{fp}:60")])
+            with pytest.raises(OSError):
+                run_simulation(cfg, request.workload, request.scheme,
+                               n_pcm_writes=scale.n_pcm_writes,
+                               max_refs_per_core=scale.max_refs_per_core,
+                               checkpoint=plan)
+            clear_faults()
+            assert store.latest_meta(fp)["writes_done"] == 50
+            resumed = run_simulation(
+                cfg, request.workload, request.scheme,
+                n_pcm_writes=scale.n_pcm_writes,
+                max_refs_per_core=scale.max_refs_per_core,
+                checkpoint=plan)
+            assert (resumed.result_fingerprint()
+                    == entry["result_fingerprint"]), kernel
+
+
+class TestCheckpointsCLI:
+    def test_list_and_gc_smoke(self, tmp_path, caplog):
+        from repro.experiments import cli
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        fp = "e" * 64
+        store.put(fp, b"state", cycle=1_000, writes_done=100)
+        assert cli.main(["checkpoints", "list",
+                         "--cache-dir", str(tmp_path)]) == 0
+        # Not disk-cached (the run never completed): gc keeps it.
+        assert cli.main(["checkpoints", "gc",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert store.latest(fp) is not None
+        assert cli.main(["checkpoints", "gc", "--all",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert store.latest(fp) is None

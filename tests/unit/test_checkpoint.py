@@ -1,0 +1,267 @@
+"""Checkpoint capsules: the store's trust model and the saver's policy.
+
+Pure filesystem/policy tests — no simulation. Resume correctness (a
+resumed run being byte-identical to an uninterrupted one) lives in
+``tests/integration/test_checkpoint_resume``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.kernel import available_kernels, get_kernel
+from repro.sim.checkpoint import (
+    CKPT_SCHEMA_VERSION,
+    Checkpointer,
+    CheckpointPlan,
+    CheckpointStore,
+)
+from repro.testing.faults import FaultSpec, clear_faults, install_faults
+
+FP = "ab" + "0" * 62
+FP2 = "cd" + "1" * 62
+
+
+@pytest.fixture(autouse=True)
+def no_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+class TestStoreRoundtrip:
+    def test_put_then_latest(self, store):
+        path = store.put(FP, b"state-100", cycle=5_000, writes_done=100)
+        assert path is not None and path.is_file()
+        capsule = store.latest(FP)
+        assert capsule is not None
+        assert capsule.fingerprint == FP
+        assert capsule.cycle == 5_000
+        assert capsule.writes_done == 100
+        assert capsule.state == b"state-100"
+        assert store.stores == 1 and store.loads == 1
+
+    def test_latest_prefers_newest(self, store):
+        store.put(FP, b"old", cycle=1_000, writes_done=100)
+        store.put(FP, b"new", cycle=2_000, writes_done=200)
+        assert store.latest(FP).state == b"new"
+
+    def test_missing_run_is_none(self, store):
+        assert store.latest(FP) is None
+        assert store.latest_meta(FP) is None
+
+    def test_prunes_to_keep_per_run(self, store):
+        assert store.keep_per_run == 2
+        for i in range(1, 6):
+            store.put(FP, b"s%d" % i, cycle=i * 1_000, writes_done=i * 100)
+        paths = sorted(store.dir_for(FP).glob("*.ckpt"))
+        assert len(paths) == 2
+        assert store.latest(FP).writes_done == 500
+
+    def test_runs_are_isolated_by_fingerprint(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=1)
+        store.put(FP2, b"b", cycle=20, writes_done=2)
+        assert store.latest(FP).state == b"a"
+        assert store.latest(FP2).state == b"b"
+
+    def test_discard_drops_everything(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=1)
+        store.put(FP, b"b", cycle=20, writes_done=2)
+        assert store.discard(FP) == 2
+        assert store.latest(FP) is None
+        assert store.discards == 2
+
+
+class TestStoreMeta:
+    def test_latest_meta_reads_header_only(self, store):
+        store.put(FP, b"x" * 1024, cycle=7_500, writes_done=300)
+        meta = store.latest_meta(FP)
+        assert meta["fingerprint"] == FP
+        assert meta["writes_done"] == 300
+        assert meta["cycle"] == 7_500
+        assert meta["schema"] == CKPT_SCHEMA_VERSION
+        # A peek is not a load: the digest-checked path wasn't taken.
+        assert store.loads == 0
+
+
+class TestStoreIntegrity:
+    def test_corrupted_capsule_detected_and_unlinked(self, store):
+        path = store.put(FP, b"state", cycle=100, writes_done=10)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3] + bytes(3))  # trailing bytes mangled
+        assert store.latest(FP) is None
+        assert store.corrupt == 1
+        assert not path.exists()
+
+    def test_truncated_capsule_detected_and_unlinked(self, store):
+        path = store.put(FP, b"state", cycle=100, writes_done=10)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.latest(FP) is None
+        assert store.corrupt == 1
+
+    def test_falls_back_to_older_valid_capsule(self, store):
+        store.put(FP, b"older", cycle=100, writes_done=10)
+        newest = store.put(FP, b"newer", cycle=200, writes_done=20)
+        newest.write_bytes(b"garbage")
+        capsule = store.latest(FP)
+        assert capsule.state == b"older"
+        assert store.corrupt == 1
+
+    def test_wrong_fingerprint_rejected(self, store, tmp_path):
+        # A capsule renamed/copied across runs must not resume: the
+        # digest-protected payload embeds the owning fingerprint.
+        source = store.put(FP, b"state", cycle=100, writes_done=10)
+        target_dir = store.dir_for(FP2)
+        target_dir.mkdir(parents=True)
+        (target_dir / source.name).write_bytes(source.read_bytes())
+        assert store.latest(FP2) is None
+
+    def test_injected_corruption_caught(self, store):
+        install_faults([FaultSpec(point="ckpt_corrupt", mode="corrupt",
+                                  match=FP)])
+        store.put(FP, b"state", cycle=100, writes_done=10)
+        clear_faults()
+        assert store.latest(FP) is None
+        assert store.corrupt == 1
+
+    def test_stale_schema_discarded(self, store, monkeypatch):
+        store.put(FP, b"state", cycle=100, writes_done=10)
+        import repro.sim.checkpoint as ckpt_mod
+        monkeypatch.setattr(ckpt_mod, "CKPT_SCHEMA_VERSION",
+                            CKPT_SCHEMA_VERSION + 1)
+        assert store.latest(FP) is None
+        assert store.corrupt == 1
+
+
+class TestStoreBestEffort:
+    def test_put_failure_logged_not_raised(self, store):
+        install_faults([FaultSpec(point="ckpt_put", error="OSError",
+                                  message="no space left on device")])
+        assert store.put(FP, b"state", cycle=100, writes_done=10) is None
+        clear_faults()
+        assert store.store_errors == 1
+        assert store.stores == 0
+        assert store.latest(FP) is None
+
+
+class TestStoreTooling:
+    def test_runs_summary(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=100)
+        store.put(FP, b"b", cycle=20, writes_done=200)
+        store.put(FP2, b"c", cycle=30, writes_done=50)
+        entries = {e["fingerprint"]: e for e in store.runs()}
+        assert set(entries) == {FP, FP2}
+        assert entries[FP]["capsules"] == 2
+        assert entries[FP]["writes_done"] == 200
+        assert entries[FP2]["writes_done"] == 50
+
+    def test_gc_drops_completed_and_keeps_live(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=100)
+        store.put(FP2, b"b", cycle=20, writes_done=50)
+        summary = store.gc(completed=lambda fp: fp == FP)
+        assert summary["runs_scanned"] == 2
+        assert summary["runs_removed"] == 1
+        assert store.latest(FP) is None
+        assert store.latest(FP2) is not None
+
+    def test_gc_drop_all(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=100)
+        store.put(FP2, b"b", cycle=20, writes_done=50)
+        summary = store.gc(drop_all=True)
+        assert summary["runs_removed"] == 2
+        assert store.runs() == []
+
+    def test_snapshot_counters(self, store):
+        store.put(FP, b"a", cycle=10, writes_done=100)
+        snap = store.snapshot()
+        assert snap["stores"] == 1
+        assert snap["root"] == str(store.root)
+
+
+class TestPlanValidation:
+    def test_rejects_non_positive_interval(self, store):
+        with pytest.raises(ValueError, match="positive"):
+            CheckpointPlan(store=store, fingerprint=FP, every_writes=0)
+
+
+class _FakeStats:
+    def __init__(self):
+        self.writes_done = 0
+
+
+class _FakeHolder:
+    def __init__(self):
+        self.obs = object()  # stands in for the telemetry observer
+
+
+class _FakeEngine:
+    def snapshot(self, refs):
+        # The holders' observers must be detached during the capture.
+        assert refs["mem"].obs is None
+        assert refs["manager"].obs is None
+        return b"state@%d" % refs["stats"].writes_done
+
+
+class TestCheckpointerPolicy:
+    def _checkpointer(self, store, every=50):
+        plan = CheckpointPlan(store=store, fingerprint=FP,
+                              every_writes=every)
+        refs = {"stats": _FakeStats(), "mem": _FakeHolder(),
+                "manager": _FakeHolder()}
+        return Checkpointer(plan, _FakeEngine(), refs), refs
+
+    def test_saves_only_at_write_boundaries(self, store):
+        hook, refs = self._checkpointer(store, every=50)
+        stats = refs["stats"]
+        for writes in (10, 20, 49):
+            stats.writes_done = writes
+            hook(now=writes * 100)
+        assert hook.saved == 0
+        stats.writes_done = 50
+        hook(now=5_000)
+        assert hook.saved == 1
+        capsule = store.latest(FP)
+        assert capsule.writes_done == 50
+        assert capsule.state == b"state@50"
+
+    def test_noop_when_writes_unchanged(self, store):
+        hook, refs = self._checkpointer(store, every=1)
+        refs["stats"].writes_done = 1
+        hook(now=100)
+        hook(now=200)  # same write count: read-events only, no save
+        assert hook.saved == 1
+
+    def test_interval_rebased_after_each_save(self, store):
+        hook, refs = self._checkpointer(store, every=50)
+        refs["stats"].writes_done = 120  # overshot two boundaries
+        hook(now=1_000)
+        assert hook.saved == 1
+        refs["stats"].writes_done = 150  # next due is 170, not 150
+        hook(now=2_000)
+        assert hook.saved == 1
+        refs["stats"].writes_done = 170
+        hook(now=3_000)
+        assert hook.saved == 2
+
+    def test_observers_restored_after_capture(self, store):
+        hook, refs = self._checkpointer(store, every=1)
+        mem_obs, manager_obs = refs["mem"].obs, refs["manager"].obs
+        refs["stats"].writes_done = 1
+        hook(now=100)
+        assert refs["mem"].obs is mem_obs
+        assert refs["manager"].obs is manager_obs
+
+
+class TestKernelResumableState:
+    @pytest.mark.parametrize("name", available_kernels())
+    def test_pickles_to_the_registry_singleton(self, name):
+        kernel = get_kernel(name)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone is kernel

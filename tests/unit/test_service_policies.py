@@ -1,0 +1,100 @@
+"""Service-layer policy units: LRU result-cache trimming and the
+admission EWMA's sample hygiene. Pure in-process tests — the gateway's
+HTTP behaviour lives in ``tests/integration/test_service_gateway``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import _SIM_CACHE, cache_get, clear_sim_cache
+from repro.service.admission import (
+    DEFAULT_RUN_SECONDS,
+    AdmissionQueue,
+    EWMA_ALPHA,
+)
+from repro.service.app import Gateway
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    clear_sim_cache()
+    yield
+    clear_sim_cache()
+
+
+class TestCacheGetLRU:
+    def test_hit_moves_entry_to_the_back(self):
+        for key in ("a", "b", "c"):
+            _SIM_CACHE[key] = f"result-{key}"
+        assert cache_get("a") == "result-a"
+        # Dict order is the eviction order: "a" is now the most recent.
+        assert list(_SIM_CACHE) == ["b", "c", "a"]
+
+    def test_miss_returns_none_without_reordering(self):
+        _SIM_CACHE["a"] = "result-a"
+        assert cache_get("nope") is None
+        assert list(_SIM_CACHE) == ["a"]
+
+
+class TestGatewayTrimIsLRU:
+    def _gateway(self, limit):
+        return Gateway(memory_cache_limit=limit)
+
+    def test_recently_used_survives_the_trim(self):
+        """The policy test the bugfix demands: a popular entry touched
+        after colder ones must survive a trim that evicts by recency,
+        and would *not* survive the old FIFO (insertion-order) trim."""
+        gateway = self._gateway(limit=3)
+        for key in ("old1", "old2", "hot", "new1", "new2"):
+            _SIM_CACHE[key] = key
+        assert cache_get("hot") == "hot"  # refresh: FIFO would ignore this
+        gateway._trim_sim_cache()
+        assert set(_SIM_CACHE) == {"new1", "new2", "hot"}
+
+    def test_without_touches_trim_degrades_to_fifo(self):
+        gateway = self._gateway(limit=2)
+        for key in ("a", "b", "c", "d"):
+            _SIM_CACHE[key] = key
+        gateway._trim_sim_cache()
+        assert set(_SIM_CACHE) == {"c", "d"}
+
+    def test_under_limit_is_untouched(self):
+        gateway = self._gateway(limit=10)
+        _SIM_CACHE["a"] = "a"
+        gateway._trim_sim_cache()
+        assert list(_SIM_CACHE) == ["a"]
+
+
+class TestAdmissionSampleHygiene:
+    def test_positive_sample_folds_into_ewma(self):
+        queue = AdmissionQueue(limit=4)
+        queue.observe_run_seconds(10.0)
+        expected = (DEFAULT_RUN_SECONDS
+                    + EWMA_ALPHA * (10.0 - DEFAULT_RUN_SECONDS))
+        assert queue.ewma_run_s == pytest.approx(expected)
+        assert queue.ewma_rejected_samples == 0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.001, -5.0])
+    def test_non_positive_sample_counted_not_folded(self, bad, caplog):
+        queue = AdmissionQueue(limit=4)
+        with caplog.at_level("WARNING", logger="repro.service.admission"):
+            queue.observe_run_seconds(bad)
+        assert queue.ewma_run_s == DEFAULT_RUN_SECONDS
+        assert queue.ewma_rejected_samples == 1
+        assert any("non-positive service-time sample" in rec.message
+                   for rec in caplog.records)
+        assert queue.snapshot()["ewma_rejected_samples"] == 1
+
+    def test_rejected_sample_hook_fires(self):
+        queue = AdmissionQueue(limit=4)
+        fired = []
+        queue.on_rejected_sample = lambda: fired.append(1)
+        queue.observe_run_seconds(-1.0)
+        queue.observe_run_seconds(1.0)
+        assert fired == [1]
+
+    def test_gateway_wires_the_rejection_counter(self):
+        gateway = Gateway()
+        gateway.admission.observe_run_seconds(-1.0)
+        counters = gateway.registry.snapshot()["counters"]
+        assert counters["service_ewma_rejected_samples"] == 1
