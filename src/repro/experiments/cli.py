@@ -334,6 +334,31 @@ def build_parser() -> argparse.ArgumentParser:
              "retries resume from the latest capsule and /watch streams "
              "checkpoint progress (default: off)",
     )
+    serve.add_argument(
+        "--replicas", type=_non_negative_int, default=0, metavar="N",
+        help="shard cold runs across N supervised worker replicas "
+             "(consistent-hash routing, circuit breakers, failover; "
+             "default 0 = in-process dispatch; see docs/service.md)",
+    )
+    serve.add_argument(
+        "--replica-restart-budget", type=_non_negative_int, default=3,
+        metavar="N",
+        help="respawns allowed per replica before its slot is "
+             "permanently dead (default 3)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=_positive_float, default=1.0,
+        metavar="SECONDS",
+        help="replica heartbeat cadence; 3 missed beats declare a "
+             "replica down (default 1.0)",
+    )
+    serve.add_argument(
+        "--replica-job-timeout", type=_positive_float, default=300.0,
+        metavar="SECONDS",
+        help="parent-side wall-clock deadline per replica job; past it "
+             "the replica is declared hung and its jobs fail over "
+             "(default 300)",
+    )
     return parser
 
 
@@ -481,6 +506,15 @@ def _serve_main(args) -> int:
         from ..obs import Telemetry
         telemetry = Telemetry()
         use_telemetry(telemetry)
+    fleet = None
+    if args.replicas > 0:
+        from ..service.fleet import FleetConfig
+        fleet = FleetConfig(
+            replicas=args.replicas,
+            restart_budget=args.replica_restart_budget,
+            heartbeat_interval_s=args.heartbeat_interval,
+            job_timeout_s=args.replica_job_timeout,
+        )
     gateway = Gateway(
         host=args.host,
         port=args.port,
@@ -491,6 +525,7 @@ def _serve_main(args) -> int:
         policy=RetryPolicy(max_attempts=args.retries + 1,
                            run_timeout_s=args.timeout),
         drain_timeout_s=args.drain_timeout,
+        fleet=fleet,
         telemetry=telemetry,
         manifest_path=args.metrics_out,
         cache=cache,

@@ -92,8 +92,10 @@ from .base import (
     active_checkpoints,
     active_disk_cache,
     active_telemetry,
+    cache_get,
     clear_failed_runs,
     execute_request,
+    failed_runs,
     mark_run_failed,
     record_cache_event,
     request_key,
@@ -712,3 +714,48 @@ def execute_plan(
     else:
         executor.run()
     return summary
+
+
+def plan_outcomes(
+    requests: Iterable[RunRequest],
+    jobs: int = 1,
+    *,
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, Tuple[object, str]]:
+    """Execute ``requests`` under full supervision and report each
+    fingerprint's outcome as ``(result, source)``.
+
+    The serving-side wrapper around :func:`execute_plan` shared by the
+    gateway's in-process dispatch and the replica fleet's worker
+    processes: always forced (``force=True`` — callers need the
+    engine's retries/watchdog/crash containment even at ``jobs=1``),
+    with the per-request provenance the service layer reports to
+    clients. ``source`` is ``disk`` (the run was already in the on-disk
+    cache before the plan), ``computed`` (freshly executed — or
+    satisfied from this process's memory cache, which for a cold
+    service request is the same thing), or ``failed`` with the terminal
+    failure message as the result.
+    """
+    requests = list(requests)
+    disk = active_disk_cache()
+    on_disk = {
+        request.fingerprint
+        for request in requests
+        if disk is not None and request.fingerprint in disk
+    }
+    execute_plan(requests, jobs=jobs, policy=policy, force=True)
+    failures = failed_runs()
+    outcomes: Dict[str, Tuple[object, str]] = {}
+    for request in requests:
+        key = request.fingerprint
+        result = cache_get(key)  # LRU: refresh recency on delivery
+        if result is not None:
+            outcomes[key] = (
+                result, "disk" if key in on_disk else "computed")
+        elif key in failures:
+            outcomes[key] = (failures[key], "failed")
+        else:
+            outcomes[key] = (
+                "run neither completed nor failed (engine aborted "
+                "or interrupted)", "failed")
+    return outcomes

@@ -50,6 +50,14 @@ fingerprint, writes_done/cycle progress, capsule path or the error that
 invalidated it — see :mod:`repro.sim.checkpoint` and
 docs/robustness.md).
 
+The replica fleet (v7) adds ``replica`` (one per fleet lifecycle step:
+``action`` ``spawn``/``respawn``/``down``/``dead``/``breaker_open``/
+``breaker_close``/``routed``/``failover``/``stranded``/``poisoned``,
+the replica name, the affected run fingerprint for job-placement
+actions, and action-specific detail — see :mod:`repro.service.fleet`).
+The gateway's ``service_state`` record gains a ``fleet`` block with
+per-replica breaker state, heartbeat age and restart counts.
+
 See docs/observability.md and docs/service.md for the full schema.
 """
 
@@ -76,7 +84,11 @@ from typing import Dict, Iterable, List, Optional, Union
 #: (``action`` save/resume/discard, fingerprint, writes_done, cycle,
 #: capsule path or discard error) — emitted by the checkpoint/resume
 #: plane, including from engine workers via sidecar merge.
-MANIFEST_SCHEMA_VERSION = 6
+#: v7: ``replica`` records — one per fleet lifecycle step (``action``
+#: spawn/respawn/down/dead/breaker_open/breaker_close/routed/failover/
+#: stranded/poisoned, replica name, fingerprint, detail) — plus the
+#: ``fleet`` block inside ``service_state``.
+MANIFEST_SCHEMA_VERSION = 7
 
 
 def _jsonable(value):

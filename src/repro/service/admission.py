@@ -32,15 +32,30 @@ DEFAULT_RUN_SECONDS = 2.0
 #: EWMA smoothing for observed per-run service times.
 EWMA_ALPHA = 0.3
 
+#: Default ceiling on the Retry-After estimate. An honest backlog
+#: estimate can still be a useless one: a deep queue of slow runs would
+#: tell clients "come back in hours", which in practice means "never".
+#: Past the cap, "the queue is long, retry in about a minute and
+#: re-check" is the more truthful advice.
+DEFAULT_RETRY_AFTER_CAP_S = 60
+
 
 class AdmissionQueue:
     """Bounded FIFO of admitted work items with service-time tracking."""
 
-    def __init__(self, limit: int, workers: int = 1):
+    def __init__(self, limit: int, workers: int = 1,
+                 retry_after_cap_s: int = DEFAULT_RETRY_AFTER_CAP_S):
         if limit < 1:
             raise ValueError(f"queue limit must be >= 1, got {limit}")
+        if retry_after_cap_s < 1:
+            raise ValueError(f"retry_after_cap_s must be >= 1, got "
+                             f"{retry_after_cap_s}")
         self.limit = limit
         self.workers = max(1, workers)
+        self.retry_after_cap_s = retry_after_cap_s
+        #: Times the cap kicked in (surfaced in :meth:`snapshot` so a
+        #: persistently clamped estimate is visible to operators).
+        self.retry_after_clamped = 0
         self._items: Deque[object] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
@@ -69,10 +84,16 @@ class AdmissionQueue:
     def retry_after_s(self) -> int:
         """Whole seconds until a queue slot is plausibly free: the
         backlog's estimated drain time across the worker pool, at least
-        one second so clients never busy-spin."""
+        one second so clients never busy-spin, and clamped to
+        ``retry_after_cap_s`` so a deep backlog never tells a client
+        "come back in hours"."""
         backlog = len(self._items) + 1  # plus the run likely executing
         estimate = backlog * self.ewma_run_s / self.workers
-        return max(1, int(math.ceil(estimate)))
+        seconds = max(1, int(math.ceil(estimate)))
+        if seconds > self.retry_after_cap_s:
+            self.retry_after_clamped += 1
+            return self.retry_after_cap_s
+        return seconds
 
     def offer(self, item: object) -> None:
         """Admit ``item`` or raise the structured backpressure error.
@@ -146,5 +167,7 @@ class AdmissionQueue:
             "rejected": self.rejected,
             "ewma_run_s": round(self.ewma_run_s, 3),
             "ewma_rejected_samples": self.ewma_rejected_samples,
+            "retry_after_cap_s": self.retry_after_cap_s,
+            "retry_after_clamped": self.retry_after_clamped,
             "closed": self._closed,
         }

@@ -43,11 +43,20 @@ done, plus periodic counter deltas) over chunked transfer encoding
 while a run is in flight; with checkpointing installed (``serve
 --checkpoint-every``) the stream also carries ``checkpoint`` lifecycle
 records as the run's capsules advance (see docs/robustness.md).
+
+Scale-out: with ``serve --replicas N`` cold runs are sharded across a
+supervised replica fleet (:mod:`repro.service.fleet`) — consistent-hash
+routing on canonical fingerprints, per-replica circuit breakers and
+heartbeats, failover and respawn under a restart budget. When every
+replica is open or dead, the dispatcher *degrades* to the in-process
+engine path (responses carry ``source: "degraded"`` and ``/healthz``
+reports ``status: "degraded"``) instead of failing requests.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 import json
 import signal
@@ -59,11 +68,9 @@ from ..experiments.base import (
     RunRequest,
     _SIM_CACHE,
     active_checkpoints,
-    active_disk_cache,
     cache_get,
-    failed_runs,
 )
-from ..experiments.engine import dedupe_requests, execute_plan
+from ..experiments.engine import dedupe_requests, plan_outcomes
 from ..experiments.registry import describe_experiments, get_experiment
 from ..experiments.resilience import RetryPolicy
 from ..obs.logging import get_logger, log_context
@@ -74,12 +81,14 @@ from ..obs.prometheus import render_registry
 from ..obs.tracing import Tracer
 from .admission import AdmissionQueue
 from .coalescer import Coalescer, Lease
+from .fleet import Fleet, FleetConfig, REPLICA_FAILED, STRANDED
 from .schemas import (
     DrainingError,
     ExperimentRequest,
     InvalidRequestError,
     MethodNotAllowedError,
     NotFoundError,
+    ReplicaFailureError,
     ServiceError,
     SimRequest,
     SimResponse,
@@ -93,6 +102,14 @@ MAX_BODY_BYTES = 1 << 20
 
 #: Per-connection header/body read timeout (slowloris guard).
 READ_TIMEOUT_S = 30.0
+
+#: ``/watch`` write-side dead-client guard: a chunk that cannot drain
+#: within this budget counts as one stalled write...
+WATCH_WRITE_TIMEOUT_S = 10.0
+#: ...and this many *consecutive* stalls drop the stream. Half-open
+#: connections (client vanished without a FIN) otherwise hold their
+#: watcher queue — and its unread backlog — forever.
+WATCH_MAX_STALLED_WRITES = 3
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -112,6 +129,47 @@ class _Work:
         self.fingerprint = request.fingerprint
 
 
+class _WatchStreamGuard:
+    """Write side of one ``/watch`` stream, with dead-client detection.
+
+    The read side already has a slowloris guard (``READ_TIMEOUT_S``),
+    but a client that stops *reading* — half-open TCP, a wedged
+    consumer — stalls ``drain()`` instead. Each send gets
+    ``timeout_s`` to drain; after ``max_stalls`` consecutive stalls
+    the guard raises :class:`ConnectionError`, which the watch handler
+    treats exactly like a disconnect (queue unsubscribed, connection
+    closed). One slow-but-alive read resets the streak.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, *,
+                 timeout_s: float = WATCH_WRITE_TIMEOUT_S,
+                 max_stalls: int = WATCH_MAX_STALLED_WRITES,
+                 on_drop=None):
+        self.writer = writer
+        self.timeout_s = timeout_s
+        self.max_stalls = max_stalls
+        self.on_drop = on_drop
+        self.stalls = 0
+
+    async def send(self, event: Dict[str, object]) -> None:
+        data = (json.dumps(event) + "\n").encode("utf-8")
+        self.writer.write(
+            f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        try:
+            await asyncio.wait_for(self.writer.drain(),
+                                   timeout=self.timeout_s)
+        except asyncio.TimeoutError:
+            self.stalls += 1
+            if self.stalls >= self.max_stalls:
+                if self.on_drop is not None:
+                    self.on_drop()
+                raise ConnectionError(
+                    f"client stalled {self.stalls} consecutive /watch "
+                    f"writes; dropping the stream") from None
+        else:
+            self.stalls = 0
+
+
 class Gateway:
     """The HTTP+JSON simulation gateway (``python -m repro.experiments
     serve``); also embeddable in-process for tests via :meth:`start` /
@@ -123,6 +181,8 @@ class Gateway:
                  policy: Optional[RetryPolicy] = None,
                  drain_timeout_s: float = 30.0,
                  watch_tick_s: float = 0.5,
+                 replicas: int = 0,
+                 fleet: Optional[FleetConfig] = None,
                  telemetry=None, manifest_path=None, cache=None,
                  registry: Optional[MetricsRegistry] = None):
         self.host = host
@@ -136,6 +196,27 @@ class Gateway:
         self.telemetry = telemetry
         self.manifest_path = manifest_path
         self.cache = cache
+        #: Replica fleet (``--replicas N``): constructed in
+        #: :meth:`start` (it needs the running loop), from an explicit
+        #: ``fleet`` config or a default one sized by ``replicas``.
+        self.fleet: Optional[Fleet] = None
+        if fleet is None and replicas > 0:
+            fleet = FleetConfig(replicas=replicas)
+        if fleet is not None:
+            # Fill in the shared-state fields the replicas inherit from
+            # this gateway unless the caller pinned them explicitly.
+            updates: Dict[str, object] = {}
+            if fleet.policy is None:
+                updates["policy"] = self.policy
+            if fleet.cache_dir is None and cache is not None:
+                updates["cache_dir"] = str(cache.root)
+            checkpoints = active_checkpoints()
+            if fleet.checkpoint_dir is None and checkpoints is not None:
+                updates["checkpoint_dir"] = str(checkpoints[0].root)
+                updates["checkpoint_every"] = checkpoints[1]
+            if updates:
+                fleet = dataclasses.replace(fleet, **updates)
+        self._fleet_config = fleet
         #: Spans survive in the telemetry manifest when one is attached;
         #: a standalone tracer still propagates context either way.
         self.tracer: Tracer = (telemetry.tracer if telemetry is not None
@@ -184,6 +265,9 @@ class Gateway:
             "non-positive service-time samples refused by the "
             "admission EWMA")
         self.admission.on_rejected_sample = self._c_ewma_rejected.inc
+        self._c_watch_dropped = reg.counter(
+            "service_watch_dropped_clients",
+            "/watch streams dropped after consecutive stalled writes")
         self._g_queue = reg.gauge(
             "service_queue_depth", "admission-queue depth")
         self._g_inflight = reg.gauge(
@@ -213,6 +297,10 @@ class Gateway:
             "coalesced": reg.counter(
                 "service_runs_served_coalesced",
                 "run resolutions that joined an in-flight computation"),
+            "degraded": reg.counter(
+                "service_runs_served_degraded",
+                "run resolutions served by the in-process fallback "
+                "while no fleet replica was live"),
         }
 
     # ==================================================================
@@ -227,14 +315,23 @@ class Gateway:
             # Forward supervision events (retries, failures) from the
             # engine thread to /watch subscribers on the loop.
             self.telemetry.on_event = self._on_telemetry_event
+        if self._fleet_config is not None:
+            self.fleet = Fleet(self._fleet_config,
+                               registry=self.registry,
+                               telemetry=self.telemetry,
+                               tracer=self.tracer,
+                               on_event=self._on_fleet_event)
+            await self.fleet.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop())
         log.info("gateway listening on http://%s:%d (jobs=%d, "
-                 "queue-limit=%d)", self.host, self.port, self.jobs,
-                 self.admission.limit)
+                 "queue-limit=%d%s)", self.host, self.port, self.jobs,
+                 self.admission.limit,
+                 (f", replicas={self._fleet_config.replicas}"
+                  if self._fleet_config is not None else ""))
         return self.host, self.port
 
     async def serve(self, install_signals: bool = False) -> None:
@@ -297,6 +394,11 @@ class Gateway:
                     await self._dispatcher
                 except (asyncio.CancelledError, Exception):
                     pass
+        if self.fleet is not None:
+            # After the dispatcher settled: replicas are idle (or were
+            # abandoned with it) and fleet.stop() resolves any job the
+            # cancelled dispatcher left behind.
+            await self.fleet.stop()
         # Safety net: nobody may be left awaiting a dead future.
         stranded = self.coalescer.abort_all(
             lambda key: DrainingError(
@@ -327,8 +429,18 @@ class Gateway:
 
     def snapshot(self) -> Dict[str, object]:
         """Operational state for ``/healthz`` and the manifest."""
+        if self.draining:
+            status = "draining"
+        elif self.fleet is not None and not self.fleet.any_routable():
+            # Still serving — the in-process fallback path answers —
+            # but operators should know the fleet is gone.
+            status = "degraded"
+        else:
+            status = "serving"
         return {
-            "status": "draining" if self.draining else "serving",
+            "status": status,
+            "fleet": (self.fleet.snapshot()
+                      if self.fleet is not None else None),
             "uptime_s": (time.monotonic() - self.started_at
                          if self.started_at is not None else 0.0),
             "jobs": self.jobs,
@@ -370,6 +482,14 @@ class Gateway:
             functools.partial(self._publish, str(fingerprint), kind,
                               **fields))
 
+    def _on_fleet_event(self, fingerprint: Optional[str],
+                        payload: Dict[str, object]) -> None:
+        """Fleet ``on_event`` hook (loop thread): surface replica
+        lifecycle steps — routed, failover, stranded, respawn — on the
+        affected fingerprint's ``/watch`` stream."""
+        if fingerprint:
+            self._publish(fingerprint, "replica", **payload)
+
     # ==================================================================
     # Dispatcher: admitted work -> supervised engine -> waiters
     # ==================================================================
@@ -387,12 +507,18 @@ class Gateway:
                 self._publish(work.fingerprint, "running",
                               batch=len(batch))
             started = time.monotonic()
+            requests = [work.request for work in batch]
             try:
-                with self.tracer.span("service.batch",
-                                      attrs={"batch": len(batch)}):
-                    outcomes = await asyncio.to_thread(
-                        self._execute_batch,
-                        [work.request for work in batch])
+                with self.tracer.span(
+                        "service.batch",
+                        attrs={"batch": len(batch),
+                               "fleet": self.fleet is not None}):
+                    if self.fleet is not None:
+                        outcomes = await self._execute_batch_fleet(
+                            requests)
+                    else:
+                        outcomes = await asyncio.to_thread(
+                            self._execute_batch, requests)
             except BaseException as exc:  # engine blew past supervision
                 log.error("dispatch batch failed wholesale: %s: %s",
                           type(exc).__name__, exc)
@@ -407,7 +533,8 @@ class Gateway:
                 continue
             elapsed = time.monotonic() - started
             computed = sum(
-                1 for _, source in outcomes.values() if source == "computed")
+                1 for _, source in outcomes.values()
+                if source in ("computed", "degraded"))
             if computed:
                 self.admission.observe_run_seconds(elapsed / computed)
             for work in batch:
@@ -417,6 +544,15 @@ class Gateway:
                     self.coalescer.reject(
                         work.fingerprint,
                         run_failure_error(work.fingerprint, str(result)))
+                    self._publish(work.fingerprint, "failed",
+                                  error=str(result))
+                elif source == REPLICA_FAILED:
+                    # A poison job: it kept taking fleet replicas down.
+                    self._c_run_failed.inc()
+                    self.coalescer.reject(
+                        work.fingerprint,
+                        ReplicaFailureError(str(result),
+                                            fingerprint=work.fingerprint))
                     self._publish(work.fingerprint, "failed",
                                   error=str(result))
                 else:
@@ -432,31 +568,38 @@ class Gateway:
 
     def _execute_batch(self, requests: List[RunRequest]) -> Dict[
             str, Tuple[object, str]]:
-        """Worker-thread half of a dispatch: run the supervised engine
-        over the batch and report each fingerprint's outcome as
-        ``(result, source)`` or ``(error message, "failed")``."""
-        disk = active_disk_cache()
-        on_disk = {
-            request.fingerprint
-            for request in requests
-            if disk is not None and request.fingerprint in disk
-        }
-        execute_plan(requests, jobs=self.jobs, policy=self.policy,
-                     force=True)
-        failures = failed_runs()
-        outcomes: Dict[str, Tuple[object, str]] = {}
-        for request in requests:
-            key = request.fingerprint
-            result = cache_get(key)  # LRU: refresh recency on delivery
-            if result is not None:
+        """Worker-thread half of an in-process dispatch: run the
+        supervised engine over the batch and report each fingerprint's
+        outcome as ``(result, source)`` or ``(error message,
+        "failed")`` (:func:`repro.experiments.engine.plan_outcomes` —
+        the same code path fleet replicas run on their side)."""
+        return plan_outcomes(requests, jobs=self.jobs,
+                             policy=self.policy)
+
+    async def _execute_batch_fleet(self, requests: List[RunRequest]
+                                   ) -> Dict[str, Tuple[object, str]]:
+        """Fleet half of a dispatch: shard the batch across replicas,
+        then serve anything the fleet stranded (no live replica) on the
+        degraded in-process path — a waiter is *never* told "the fleet
+        is down", it just gets its result with ``source:
+        "degraded"``."""
+        outcomes = await self.fleet.execute_batch(requests)
+        stranded = [request for request in requests
+                    if outcomes[request.fingerprint][1] == STRANDED]
+        if stranded:
+            log.warning("fleet has no live replica: serving %d run(s) "
+                        "on the degraded in-process path", len(stranded))
+            fallback = await asyncio.to_thread(
+                self._execute_batch, stranded)
+            for key, (result, source) in fallback.items():
                 outcomes[key] = (
-                    result, "disk" if key in on_disk else "computed")
-            elif key in failures:
-                outcomes[key] = (failures[key], "failed")
-            else:
-                outcomes[key] = (
-                    "run neither completed nor failed (engine aborted "
-                    "or interrupted)", "failed")
+                    result, "degraded" if source != "failed" else source)
+        # Replica-computed results live in the replica's memory and the
+        # shared disk cache; mirror them into this process's hot cache
+        # so follow-up requests hit ``source: "memory"`` as before.
+        for key, (result, source) in outcomes.items():
+            if source in ("computed", "disk") and key not in _SIM_CACHE:
+                _SIM_CACHE[key] = result
         return outcomes
 
     def _trim_sim_cache(self) -> None:
@@ -705,6 +848,8 @@ class Gateway:
         fingerprint = fingerprints[0]
         queue: asyncio.Queue = asyncio.Queue()
         self._watchers.setdefault(fingerprint, []).append(queue)
+        guard = _WatchStreamGuard(writer,
+                                  on_drop=self._c_watch_dropped.inc)
         try:
             writer.write((
                 "HTTP/1.1 200 OK\r\n"
@@ -719,12 +864,12 @@ class Gateway:
             state = ("done" if in_cache
                      else "inflight" if inflight
                      else "unknown")
-            await self._write_chunk(writer, {
+            await guard.send({
                 "event": "state", "fingerprint": fingerprint,
                 "status": state, "draining": self.draining,
                 "ts": time.time()})
             if in_cache:
-                await self._write_chunk(writer, {
+                await guard.send({
                     "event": "done", "fingerprint": fingerprint,
                     "source": "memory", "ts": time.time()})
                 return 200
@@ -748,7 +893,7 @@ class Gateway:
                                   if meta else -1)
                         if writes > last_ckpt_writes:
                             last_ckpt_writes = writes
-                            await self._write_chunk(writer, {
+                            await guard.send({
                                 "event": "checkpoint", "action": "save",
                                 "fingerprint": fingerprint,
                                 "writes_done": writes,
@@ -761,16 +906,16 @@ class Gateway:
                              if value != last_counters.get(name, 0)}
                     last_counters = counters
                     if delta:
-                        await self._write_chunk(writer, {
+                        await guard.send({
                             "event": "registry", "fingerprint": fingerprint,
                             "counters": delta, "ts": time.time()})
                     if self.draining:
-                        await self._write_chunk(writer, {
+                        await guard.send({
                             "event": "drain", "fingerprint": fingerprint,
                             "ts": time.time()})
                         return 200
                     continue
-                await self._write_chunk(writer, event)
+                await guard.send(event)
                 if event.get("event") in ("done", "failed", "drain"):
                     return 200
         except (ConnectionError, asyncio.TimeoutError, RuntimeError):
@@ -789,13 +934,6 @@ class Gateway:
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 pass
-
-    @staticmethod
-    async def _write_chunk(writer: asyncio.StreamWriter,
-                           event: Dict[str, object]) -> None:
-        data = (json.dumps(event) + "\n").encode("utf-8")
-        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
-        await writer.drain()
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader,

@@ -25,6 +25,7 @@ from .schemas import (
     InvalidRequestError,
     MethodNotAllowedError,
     NotFoundError,
+    ReplicaFailureError,
     RunExecutionError,
     ServiceError,
 )
@@ -32,7 +33,7 @@ from .schemas import (
 _ERRORS_BY_CODE = {
     cls.code: cls
     for cls in (InvalidRequestError, NotFoundError, MethodNotAllowedError,
-                DrainingError, RunExecutionError)
+                DrainingError, RunExecutionError, ReplicaFailureError)
 }
 
 

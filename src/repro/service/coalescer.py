@@ -26,13 +26,15 @@ Correctness properties (proven by ``tests/property/test_prop_service``):
 Single-loop discipline: all methods must be called from the event-loop
 thread. Waiters must await through :meth:`Lease.wait`, which shields
 the shared future so one cancelled client (disconnect) cannot cancel
-the run for the others.
+the run for the others — while still deregistering the cancelled
+waiter from the entry's count (:meth:`Coalescer.abandon`), so fan-out
+statistics never count ghosts.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 
@@ -49,12 +51,22 @@ class Lease:
     key: str
     future: "asyncio.Future"
     leader: bool
+    #: Back-reference for waiter accounting on cancellation; ``None``
+    #: only for hand-built leases in tests.
+    coalescer: Optional["Coalescer"] = field(default=None, repr=False)
 
     async def wait(self):
         """Await the shared result; shielded so cancelling this waiter
         (a dropped connection) never cancels the underlying run or the
-        other waiters."""
-        return await asyncio.shield(self.future)
+        other waiters — but the cancelled waiter *is* removed from the
+        entry's waiter count, so fan-out stats (``/healthz``,
+        ``resolve``'s return value) don't count ghosts."""
+        try:
+            return await asyncio.shield(self.future)
+        except asyncio.CancelledError:
+            if self.coalescer is not None:
+                self.coalescer.abandon(self)
+            raise
 
 
 class Coalescer:
@@ -65,6 +77,8 @@ class Coalescer:
         #: Total leases handed out, split by role.
         self.leaders = 0
         self.followers = 0
+        #: Waiters that cancelled (disconnected) before resolution.
+        self.cancelled_waiters = 0
         #: High-water mark of the in-flight map (memory-bound witness).
         self.peak_inflight = 0
 
@@ -88,17 +102,32 @@ class Coalescer:
         if entry is not None:
             entry.waiters += 1
             self.followers += 1
-            return Lease(key, entry.future, leader=False)
+            return Lease(key, entry.future, leader=False, coalescer=self)
         future = (loop or asyncio.get_event_loop()).create_future()
         self._inflight[key] = _Entry(future)
         self.leaders += 1
         if len(self._inflight) > self.peak_inflight:
             self.peak_inflight = len(self._inflight)
-        return Lease(key, future, leader=True)
+        return Lease(key, future, leader=True, coalescer=self)
 
     def waiters(self, key: str) -> int:
         entry = self._inflight.get(key)
         return entry.waiters if entry is not None else 0
+
+    def abandon(self, lease: Lease) -> None:
+        """A waiter was cancelled (client disconnect): decrement its
+        entry's waiter count — the shared future stays untouched and
+        shielded, the run continues for everyone else. Idempotent
+        against the entry having already resolved (the pop in
+        ``resolve``/``reject`` removed it) and guarded against a
+        same-key *successor* entry: the decrement only applies while
+        the lease's own future is still the in-flight one."""
+        entry = self._inflight.get(lease.key)
+        if entry is None or entry.future is not lease.future:
+            return
+        if entry.waiters > 0:
+            entry.waiters -= 1
+        self.cancelled_waiters += 1
 
     def resolve(self, key: str, result: object) -> int:
         """Deliver ``result`` to every waiter of ``key``; returns how
@@ -144,4 +173,5 @@ class Coalescer:
             "peak_inflight": self.peak_inflight,
             "leaders": self.leaders,
             "followers": self.followers,
+            "cancelled_waiters": self.cancelled_waiters,
         }

@@ -103,6 +103,19 @@ class RunExecutionError(ServiceError):
     code = "run_failed"
 
 
+class ReplicaFailureError(ServiceError):
+    """The run's job crossed the fleet's re-route budget — it kept
+    taking replicas down with it (a *poison job*), so the fleet
+    contained it instead of feeding it more replicas. Retryable: the
+    cause is environmental (a crashing/hanging replica process), not a
+    proven simulation bug, and the respawned replicas may well serve a
+    later attempt."""
+
+    status = 500
+    code = "replica_failed"
+    retryable = True
+
+
 def _require(body: Mapping, key: str, kind, choices=None):
     if key not in body:
         raise InvalidRequestError(f"missing required field {key!r}",
@@ -242,7 +255,10 @@ class SimResponse:
 
     request: SimRequest
     fingerprint: str
-    source: str  # memory | disk | computed | coalesced
+    #: Provenance: ``memory`` / ``disk`` / ``computed`` / ``coalesced``,
+    #: plus ``degraded`` when a fleet-enabled gateway had to serve the
+    #: run on its in-process fallback path (no live replica).
+    source: str
     result: object = field(repr=False)
 
     def to_wire(self) -> Dict[str, object]:

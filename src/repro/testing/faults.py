@@ -36,6 +36,17 @@ point           fires from                            key
 ``sim_progress`` :class:`~repro.sim.checkpoint.       ``fingerprint:writes_done``
                 Checkpointer`, once per completed
                 write (mid-run, between boundaries)
+``replica_crash`` fleet replica job loop, before the  ``workload/scheme/fingerprint``
+                engine runs (``mode="crash"`` kills
+                the whole replica process)
+``replica_hang`` fleet replica job loop, before the   ``workload/scheme/fingerprint``
+                engine runs (``mode="hang"`` starves
+                the job past its fleet deadline
+                while heartbeats continue)
+``heartbeat_drop`` fleet replica heartbeat thread,    replica name (``r0``, ``r1``, …)
+                once per beat (``mode="error"``
+                suppresses the beat, simulating a
+                wedged or partitioned replica)
 =============== ===================================== ==================
 
 Determinism: firing depends only on the plan and the sequence of

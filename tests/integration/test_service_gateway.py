@@ -121,9 +121,11 @@ def serial_wire_payload(fields):
     return payload
 
 
-def _soak(scale_fields, hot_repeats=30, cold_repeats=16):
+def _soak(scale_fields, hot_repeats=30, cold_repeats=16,
+          **gateway_kwargs):
     """Drive the mixed soak load; returns (harness stats, responses)."""
-    with GatewayHarness(jobs=1, queue_limit=64, batch_max=16) as harness:
+    with GatewayHarness(jobs=1, queue_limit=64, batch_max=16,
+                        **gateway_kwargs) as harness:
         host, port = harness.gateway.host, harness.gateway.port
 
         async def drive():
@@ -164,8 +166,8 @@ def _soak(scale_fields, hot_repeats=30, cold_repeats=16):
         return health, metrics, responses
 
 
-def check_soak(scale_fields):
-    health, metrics, responses = _soak(scale_fields)
+def check_soak(scale_fields, **gateway_kwargs):
+    health, metrics, responses = _soak(scale_fields, **gateway_kwargs)
 
     statuses = [status for status, _, _ in responses]
     n_valid = sum(1 for s in statuses if s == 200)
@@ -223,6 +225,17 @@ def test_soak_200_concurrent_requests_micro():
                            "(CI service job)")
 def test_soak_200_concurrent_requests_quick_scale():
     check_soak({"scale": "quick"})
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_FLEET"),
+                    reason="replica-fleet soak; set REPRO_FLEET=1 "
+                           "(CI fleet job)")
+def test_soak_200_concurrent_requests_fleet_two_replicas():
+    """The full mixed soak with cold work sharded across two
+    supervised replicas: same counts, same byte-identity — the
+    fleet changes placement, never results."""
+    from repro.service.fleet import FleetConfig
+    check_soak(MICRO_FIELDS, fleet=FleetConfig(replicas=2))
 
 
 def test_backpressure_429_with_retry_after(monkeypatch):

@@ -1,18 +1,24 @@
-"""Service-layer policy units: LRU result-cache trimming and the
-admission EWMA's sample hygiene. Pure in-process tests — the gateway's
-HTTP behaviour lives in ``tests/integration/test_service_gateway``."""
+"""Service-layer policy units: LRU result-cache trimming, the
+admission EWMA's sample hygiene, the Retry-After clamp, cancelled-
+waiter accounting in the coalescer, and the ``/watch`` write-side
+dead-client guard. Pure in-process tests — the gateway's HTTP
+behaviour lives in ``tests/integration/test_service_gateway``."""
 
 from __future__ import annotations
+
+import asyncio
 
 import pytest
 
 from repro.experiments.base import _SIM_CACHE, cache_get, clear_sim_cache
 from repro.service.admission import (
+    DEFAULT_RETRY_AFTER_CAP_S,
     DEFAULT_RUN_SECONDS,
     AdmissionQueue,
     EWMA_ALPHA,
 )
-from repro.service.app import Gateway
+from repro.service.app import _WatchStreamGuard, Gateway
+from repro.service.coalescer import Coalescer
 
 
 @pytest.fixture(autouse=True)
@@ -98,3 +104,157 @@ class TestAdmissionSampleHygiene:
         gateway.admission.observe_run_seconds(-1.0)
         counters = gateway.registry.snapshot()["counters"]
         assert counters["service_ewma_rejected_samples"] == 1
+
+
+class TestRetryAfterClamp:
+    def test_small_backlog_estimate_passes_through(self):
+        queue = AdmissionQueue(limit=8)
+        # Empty queue, default EWMA prior: ceil(1 * 2.0 / 1) = 2 s.
+        assert queue.retry_after_s() == 2
+        assert queue.retry_after_clamped == 0
+
+    def test_deep_backlog_is_clamped_to_the_cap(self):
+        queue = AdmissionQueue(limit=8)
+        queue.ewma_run_s = 3600.0  # an hour per run: "come back never"
+        assert queue.retry_after_s() == DEFAULT_RETRY_AFTER_CAP_S
+        assert queue.retry_after_clamped == 1
+        snap = queue.snapshot()
+        assert snap["retry_after_cap_s"] == DEFAULT_RETRY_AFTER_CAP_S
+        assert snap["retry_after_clamped"] == 1
+
+    def test_cap_is_configurable(self):
+        queue = AdmissionQueue(limit=8, retry_after_cap_s=5)
+        queue.ewma_run_s = 100.0
+        assert queue.retry_after_s() == 5
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=8, retry_after_cap_s=0)
+
+
+class TestCancelledWaiterAccounting:
+    def test_abandon_decrements_waiters_and_counts(self):
+        async def scenario():
+            c = Coalescer()
+            leader = c.lease("k")
+            follower = c.lease("k")
+            assert c.waiters("k") == 2
+            c.abandon(follower)
+            assert c.waiters("k") == 1
+            assert c.cancelled_waiters == 1
+            assert c.snapshot()["cancelled_waiters"] == 1
+            leader.future.set_result(None)  # silence "never retrieved"
+
+        asyncio.run(scenario())
+
+    def test_abandon_after_resolution_is_a_noop(self):
+        async def scenario():
+            c = Coalescer()
+            lease = c.lease("k")
+            assert c.resolve("k", "result") == 1
+            c.abandon(lease)  # late cancellation: entry already gone
+            assert c.cancelled_waiters == 0
+
+        asyncio.run(scenario())
+
+    def test_abandon_never_touches_a_successor_entry(self):
+        """A stale lease from a *previous* in-flight run of the same
+        fingerprint must not corrupt the waiter count of the current
+        one."""
+        async def scenario():
+            c = Coalescer()
+            stale = c.lease("k")
+            c.resolve("k", "first result")
+            successor = c.lease("k")  # same key, new entry
+            c.abandon(stale)
+            assert c.waiters("k") == 1
+            assert c.cancelled_waiters == 0
+            successor.future.set_result(None)
+
+        asyncio.run(scenario())
+
+    def test_cancelled_wait_abandons_without_unshielding(self):
+        """Cancelling one waiter's task removes it from the count but
+        leaves the shared future running; the surviving waiter still
+        gets the result."""
+        async def scenario():
+            c = Coalescer()
+            leader = c.lease("k")
+            follower = c.lease("k")
+            task = asyncio.ensure_future(follower.wait())
+            await asyncio.sleep(0)  # let the waiter reach the shield
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert not leader.future.cancelled()
+            assert c.waiters("k") == 1
+            assert c.cancelled_waiters == 1
+            leader.future.set_result("result")
+            assert await leader.wait() == "result"
+
+        asyncio.run(scenario())
+
+
+class StubWriter:
+    """Just enough StreamWriter for the watch guard: records chunks,
+    stalls on demand."""
+
+    def __init__(self):
+        self.stalled = False
+        self.chunks = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        if self.stalled:
+            await asyncio.sleep(60)
+
+
+class TestWatchStreamGuard:
+    def test_healthy_writes_frame_chunks_and_keep_streak_zero(self):
+        async def scenario():
+            writer = StubWriter()
+            guard = _WatchStreamGuard(writer, timeout_s=0.5, max_stalls=3)
+            await guard.send({"event": "run"})
+            assert guard.stalls == 0
+            chunk = writer.chunks[0]
+            size, _, rest = chunk.partition(b"\r\n")
+            body = rest[: int(size, 16)]
+            assert body.endswith(b"\n")
+            assert b'"event": "run"' in body
+
+        asyncio.run(scenario())
+
+    def test_consecutive_stalls_drop_the_client(self):
+        async def scenario():
+            writer = StubWriter()
+            writer.stalled = True
+            drops = []
+            guard = _WatchStreamGuard(
+                writer, timeout_s=0.01, max_stalls=3,
+                on_drop=lambda: drops.append(1))
+            await guard.send({"n": 1})  # stall 1: tolerated
+            await guard.send({"n": 2})  # stall 2: tolerated
+            with pytest.raises(ConnectionError):
+                await guard.send({"n": 3})  # stall 3: dropped
+            assert drops == [1]
+
+        asyncio.run(scenario())
+
+    def test_one_successful_drain_resets_the_streak(self):
+        async def scenario():
+            writer = StubWriter()
+            guard = _WatchStreamGuard(writer, timeout_s=0.01,
+                                      max_stalls=2)
+            writer.stalled = True
+            await guard.send({"n": 1})
+            assert guard.stalls == 1
+            writer.stalled = False
+            await guard.send({"n": 2})  # slow-but-alive client recovers
+            assert guard.stalls == 0
+            writer.stalled = True
+            await guard.send({"n": 3})  # streak restarts from zero
+            assert guard.stalls == 1
+
+        asyncio.run(scenario())
