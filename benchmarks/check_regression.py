@@ -1,22 +1,25 @@
-"""Benchmark regression gate on kernel-pair speedup ratios.
+"""Benchmark regression gate on paired speedup ratios.
 
-Reads the ``bench_kernel`` records the latest benchmark session
-appended to ``.benchmarks/BENCH_runs.jsonl`` (see
-``benchmarks/conftest.py``), computes the reference/vectorized speedup
-per benchmark name, prints the table, and fails if any pair
+Reads the ``bench_kernel`` and ``bench_plan`` records the latest
+benchmark sessions appended to ``.benchmarks/BENCH_runs.jsonl`` (see
+``benchmarks/conftest.py``), computes per-name speedups —
+reference/vectorized for kernel pairs, per-run/batched for plan pairs —
+prints the tables, and fails if any pair
 
-* fell below its absolute floor (the tentpole targets ≥3x on the pure
-  kernel microbenchmarks), or
+* fell below its absolute floor (the kernel tentpole targets ≥3x on the
+  pure kernel microbenchmarks; the batched execution tier targets ≥2x
+  plan-level throughput), or
 * regressed more than 25% against the committed
   ``benchmarks/BENCH_baseline.json``.
 
 Gating on the *ratio* of two timings from the same session keeps the
-check machine-independent: absolute times shift with hardware, but the
-reference and vectorized kernels run the same inputs on the same host.
+check machine-independent: absolute times shift with hardware, but both
+sides of a pair run the same inputs on the same host.
 
 Usage::
 
-    pytest benchmarks/test_bench_kernel.py --benchmark-only
+    pytest benchmarks/test_bench_kernel.py benchmarks/test_bench_sweeps.py \\
+        --benchmark-only
     python benchmarks/check_regression.py
 """
 
@@ -35,9 +38,10 @@ DEFAULT_BASELINE = HERE / "BENCH_baseline.json"
 REGRESSION_SLACK = 0.75
 
 
-def latest_session_kernel_records(manifest: pathlib.Path):
-    """``bench_kernel`` records from the last session (records after
-    the final ``run_header``) of the manifest."""
+def latest_session_records(manifest: pathlib.Path, record_type: str):
+    """Records of ``record_type`` from the last session that produced
+    any (records after a ``run_header``), so kernel and plan benchmarks
+    may come from separate pytest invocations."""
     sessions = [[]]
     with manifest.open() as handle:
         for line in handle:
@@ -47,7 +51,7 @@ def latest_session_kernel_records(manifest: pathlib.Path):
             record = json.loads(line)
             if record.get("type") == "run_header":
                 sessions.append([])
-            elif record.get("type") == "bench_kernel":
+            elif record.get("type") == record_type:
                 sessions[-1].append(record)
     for session in reversed(sessions):
         if session:
@@ -55,24 +59,25 @@ def latest_session_kernel_records(manifest: pathlib.Path):
     return []
 
 
-def pair_speedups(records):
-    """name -> reference_min / vectorized_min over the paired records."""
+def pair_speedups(records, numerator: str, denominator: str, axis: str):
+    """name -> numerator_min / denominator_min over the paired records,
+    where ``axis`` is the record field the pair differs in (``kernel``
+    for kernel pairs, ``mode`` for plan pairs)."""
     times = {}
     for record in records:
-        times.setdefault(record["name"], {})[record["kernel"]] = record[
+        times.setdefault(record["name"], {})[record[axis]] = record[
             "min_seconds"
         ]
     speedups = {}
-    for name, by_kernel in sorted(times.items()):
-        if {"reference", "vectorized"} <= set(by_kernel):
-            speedups[name] = by_kernel["reference"] / by_kernel["vectorized"]
+    for name, sides in sorted(times.items()):
+        if {numerator, denominator} <= set(sides):
+            speedups[name] = sides[numerator] / sides[denominator]
     return speedups
 
 
-def check(speedups, baseline):
+def check(speedups, expected, floors, label):
     failures = []
-    floors = baseline.get("floors", {})
-    expected = baseline.get("kernel_speedups", {})
+    print(f"\n{label}")
     print(f"{'benchmark':<24}{'speedup':>9}{'baseline':>10}{'floor':>7}  verdict")
     for name, speedup in speedups.items():
         floor = floors.get(name, 1.0)
@@ -104,17 +109,25 @@ def main(argv=None) -> int:
 
     if not args.manifest.is_file():
         print(f"no benchmark manifest at {args.manifest}; run "
-              "`pytest benchmarks/test_bench_kernel.py --benchmark-only` first",
+              "`pytest benchmarks/ --benchmark-only` first",
               file=sys.stderr)
         return 2
-    records = latest_session_kernel_records(args.manifest)
-    speedups = pair_speedups(records)
-    if not speedups:
-        print("no kernel benchmark pairs in the latest session",
-              file=sys.stderr)
+    kernel_speedups = pair_speedups(
+        latest_session_records(args.manifest, "bench_kernel"),
+        "reference", "vectorized", "kernel")
+    plan_speedups = pair_speedups(
+        latest_session_records(args.manifest, "bench_plan"),
+        "per_run", "batched", "mode")
+    if not kernel_speedups and not plan_speedups:
+        print("no benchmark pairs in the latest session", file=sys.stderr)
         return 2
     baseline = json.loads(args.baseline.read_text())
-    failures = check(speedups, baseline)
+    failures = check(kernel_speedups, baseline.get("kernel_speedups", {}),
+                     baseline.get("floors", {}),
+                     "kernel pairs (reference / vectorized)")
+    failures += check(plan_speedups, baseline.get("plan_speedups", {}),
+                      baseline.get("plan_floors", {}),
+                      "plan pairs (per-run / batched)")
     if failures:
         print("\nregression gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -21,16 +21,13 @@ from typing import Dict, List
 
 import pytest
 
-from repro.config.system import (
-    CacheConfig,
-    CacheLevelConfig,
-    CPUConfig,
-    SystemConfig,
-)
+from repro.config.system import SystemConfig
 from repro.experiments.base import RunScale, clear_sim_cache
 from repro.experiments.registry import get_experiment
 from repro.obs.manifest import ManifestWriter, run_header
 from repro.trace.generator import clear_trace_cache, generate_trace
+
+from tests.conftest import make_tiny_config
 
 #: The benchmark scale: one write-heavy and one read-heavy workload.
 BENCH_SCALE = RunScale("bench", 60, 12_000, ("mcf_m", "tig_m"))
@@ -47,12 +44,9 @@ _bench_records: List[Dict[str, object]] = []
 
 
 def bench_config(seed: int = 1) -> SystemConfig:
-    caches = CacheConfig(
-        l1=CacheLevelConfig(16 * 1024, 4, 64, 2),
-        l2=CacheLevelConfig(256 * 1024, 4, 64, 7),
-        l3=CacheLevelConfig(2 * 1024 * 1024, 8, 256, 200),
-    )
-    return SystemConfig(cpu=CPUConfig(cores=2), caches=caches, seed=seed)
+    """The benchmark system is the test suite's tiny config (shared in
+    tests/conftest.py): 2 cores, 2 MB L3, Table-1 PCM side."""
+    return make_tiny_config(seed=seed)
 
 
 @pytest.fixture(scope="session")
@@ -122,6 +116,26 @@ def record_kernel_bench(benchmark, name: str, kernel: str) -> None:
         "type": "bench_kernel",
         "name": name,
         "kernel": kernel,
+        "scale": "bench",
+        "min_seconds": stats.min,
+        "median_seconds": stats.median,
+        "rounds": stats.rounds,
+    })
+
+
+def record_plan_bench(benchmark, name: str, mode: str) -> None:
+    """Tag one plan-throughput benchmark's timings for the manifest.
+
+    ``benchmarks/check_regression.py`` pairs these records by ``name``
+    across execution modes (``per_run`` vs ``batched``) and gates on
+    the plan-level speedup ratio — the batched-execution analogue of
+    :func:`record_kernel_bench`'s kernel pairs.
+    """
+    stats = benchmark.stats.stats
+    _bench_records.append({
+        "type": "bench_plan",
+        "name": name,
+        "mode": mode,
         "scale": "bench",
         "min_seconds": stats.min,
         "median_seconds": stats.median,

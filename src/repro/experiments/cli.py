@@ -52,7 +52,7 @@ from .base import (
     use_disk_cache,
     use_telemetry,
 )
-from .engine import execute_plan
+from .engine import BATCHING_MODES, execute_plan
 from .registry import available_experiments, get_experiment, plan_runs
 from .resilience import RetryPolicy
 
@@ -143,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 1 = serial; 0 = one per CPU)",
     )
     run.add_argument(
+        "--batching", choices=BATCHING_MODES, default="off",
+        help="batch structurally-identical planned runs into cohorts "
+             "executed together on one worker (auto: cohorts of >= 2 "
+             "runs; force: everything; results are byte-identical "
+             "either way — see docs/performance.md; default off)",
+    )
+    run.add_argument(
         "--cache-dir", type=pathlib.Path, default=pathlib.Path(DEFAULT_CACHE_DIR),
         metavar="DIR",
         help="on-disk run cache directory (default .simcache/)",
@@ -231,9 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --check, verify only a deterministic N-entry sample",
     )
     golden.add_argument(
+        "--sample-seed", type=int, default=None, metavar="SEED",
+        help="with --sample, salt the sample selection with an explicit "
+             "seed so different CI runs can spot-check different "
+             "entries reproducibly (default: unsalted fingerprint "
+             "ranking)",
+    )
+    golden.add_argument(
         "--jobs", type=_jobs, default=1, metavar="N",
         help="worker processes for the corpus simulations "
              "(default 1 = serial; 0 = one per CPU)",
+    )
+    golden.add_argument(
+        "--batching", choices=BATCHING_MODES, default="off",
+        help="batch the corpus runs into structure-sharing cohorts "
+             "(results are byte-identical; default off)",
     )
     golden.add_argument(
         "--cache-dir", type=pathlib.Path,
@@ -292,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-max", type=_positive_int, default=16, metavar="N",
         help="max admitted requests dispatched to the engine as one "
              "plan (default 16)",
+    )
+    serve.add_argument(
+        "--batching", choices=BATCHING_MODES, default="off",
+        help="execute coalesced cold misses as structure-sharing "
+             "cohorts (byte-identical results; default off)",
     )
     serve.add_argument(
         "--memory-cache-limit", type=_positive_int, default=4096,
@@ -414,14 +438,15 @@ def _golden_main(args) -> int:
         cache = SimCache(args.cache_dir)
         use_disk_cache(cache)
     def prefetch(scale, seed, kernels):
-        if args.jobs <= 1:
+        if args.jobs <= 1 and args.batching == "off":
             return
         requests = [
             variant
             for request, _ in golden.corpus_runs(scale, seed=seed)
             for variant in golden.kernel_requests(request, kernels)
         ]
-        execute_plan(requests, jobs=args.jobs, policy=RetryPolicy())
+        execute_plan(requests, jobs=args.jobs, policy=RetryPolicy(),
+                     batching=args.batching)
 
     try:
         if args.check:
@@ -431,6 +456,7 @@ def _golden_main(args) -> int:
                          int(document["seed"]), document["kernels"])
             drifts = golden.verify_corpus(
                 document, sample=args.sample,
+                sample_seed=args.sample_seed,
                 progress=lambda line: log.debug("%s", line))
             if drifts:
                 for drift in drifts:
@@ -525,6 +551,7 @@ def _serve_main(args) -> int:
         policy=RetryPolicy(max_attempts=args.retries + 1,
                            run_timeout_s=args.timeout),
         drain_timeout_s=args.drain_timeout,
+        batching=args.batching,
         fleet=fleet,
         telemetry=telemetry,
         manifest_path=args.metrics_out,
@@ -594,9 +621,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         try:
             requests = plan_runs(targets, base_config, scale)
-            if requests and (args.jobs > 1 or cache is not None):
+            if requests and (args.jobs > 1 or cache is not None
+                             or args.batching != "off"):
                 summary = execute_plan(requests, jobs=args.jobs,
-                                       policy=policy)
+                                       policy=policy,
+                                       batching=args.batching)
                 log.info(
                     "plan: %d runs (%d unique) — %d in memory, %d from "
                     "cache, %d computed on %d worker(s)\n",

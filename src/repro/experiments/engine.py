@@ -207,38 +207,18 @@ def _spool_sidecar(telemetry, fingerprint: str,
         return None
 
 
-@dataclass
-class _Flight:
-    """One in-flight submission."""
+class _WorkerEnv:
+    """Per-plan worker context shared by the per-run executor and the
+    batched cohort tier (:mod:`repro.experiments.batch`): the active
+    disk cache and telemetry, the checkpoint spec shipped to workers,
+    the telemetry-sidecar spool directory, and the single delivery path
+    every completed run takes back into the caches and manifest.
 
-    request: RunRequest
-    attempt: int
-    deadline: Optional[float]  # monotonic seconds, None = no watchdog
-    isolated: bool = False     # running alone to identify a pool-killer
+    Factoring this out of :class:`_PlanExecutor` is what makes batched
+    execution byte-identical on the parent side too — both tiers merge
+    worker results through literally the same :meth:`deliver` code."""
 
-
-class _PlanExecutor:
-    """Supervised execution of one deduplicated, cache-missing run set."""
-
-    def __init__(self, pending: List[RunRequest], jobs: int,
-                 window: int, policy: RetryPolicy, summary: Dict[str, object]):
-        self.policy = policy
-        self.supervisor = RunSupervisor(policy)
-        self.summary = summary
-        self.n_workers = min(jobs, len(pending))
-        self.window = window
-        #: Ready work: ``(request, attempt)`` in submission order.
-        self.work: Deque[Tuple[RunRequest, int]] = deque(
-            (request, 1) for request in pending)
-        #: Runs to execute one-at-a-time (pool-break culprits unknown).
-        self.suspects: Deque[Tuple[RunRequest, int]] = deque()
-        #: Backoff heap: ``(ready_at, seq, request, attempt, isolated)``.
-        self.delayed: List[Tuple[float, int, RunRequest, int, bool]] = []
-        self._delay_seq = 0
-        self.futures: Dict[Future, _Flight] = {}
-        self.pool: Optional[ProcessPoolExecutor] = None
-        self.respawns = 0
-        self.aborted = False
+    def __init__(self) -> None:
         self.disk = active_disk_cache()
         self.telemetry = active_telemetry()
         # Checkpoint/resume: the process-wide setting is serialized into
@@ -268,6 +248,97 @@ class _PlanExecutor:
             else:
                 self._spool_tmp = tempfile.mkdtemp(prefix="repro-obs-")
                 self.spool_dir = self._spool_tmp
+
+    def obs_spec(self) -> Optional[Dict[str, object]]:
+        """The per-submission telemetry spec workers run under, or
+        ``None`` when worker capture is off."""
+        if self.spool_dir is None:
+            return None
+        context = tracing.current_context()
+        return {
+            "spool_dir": self.spool_dir,
+            "sample_interval": self.telemetry.sample_interval,
+            "max_samples_per_series":
+                self.telemetry.max_samples_per_series,
+            "parent_span_id":
+                context.span_id if context is not None else None,
+        }
+
+    def deliver(self, request: RunRequest, result, worker_pid: int,
+                sidecar: Optional[str], summary: Dict[str, object]) -> None:
+        """Publish one worker-computed result: memory cache, disk cache,
+        manifest cache event, telemetry sidecar merge, summary count."""
+        key = request.fingerprint
+        _SIM_CACHE[key] = result
+        if self.disk is not None:
+            self.disk.put(key, result)
+        record_cache_event(request, "computed", worker=worker_pid,
+                           prefetch=True)
+        if self.telemetry is not None:
+            merged = False
+            if sidecar is not None:
+                try:
+                    payload = json.loads(Path(sidecar).read_text())
+                    self.telemetry.merge_worker_telemetry(payload,
+                                                          sidecar=sidecar)
+                    merged = True
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    log.warning("discarding unreadable worker telemetry "
+                                "sidecar %s (%s: %s)", sidecar,
+                                type(exc).__name__, exc)
+            if not merged:
+                self.telemetry.record_external_run(result, worker=worker_pid)
+        summary["computed"] += 1
+
+    def cleanup(self) -> None:
+        if self._spool_tmp is not None:
+            shutil.rmtree(self._spool_tmp, ignore_errors=True)
+            self._spool_tmp = None
+
+
+@dataclass
+class _Flight:
+    """One in-flight submission."""
+
+    request: RunRequest
+    attempt: int
+    deadline: Optional[float]  # monotonic seconds, None = no watchdog
+    isolated: bool = False     # running alone to identify a pool-killer
+
+
+class _PlanExecutor:
+    """Supervised execution of one deduplicated, cache-missing run set."""
+
+    def __init__(self, pending: List[RunRequest], jobs: int,
+                 window: int, policy: RetryPolicy, summary: Dict[str, object],
+                 env: Optional[_WorkerEnv] = None):
+        self.policy = policy
+        self.supervisor = RunSupervisor(policy)
+        self.summary = summary
+        self.n_workers = min(jobs, len(pending))
+        self.window = window
+        #: Ready work: ``(request, attempt)`` in submission order.
+        self.work: Deque[Tuple[RunRequest, int]] = deque(
+            (request, 1) for request in pending)
+        #: Runs to execute one-at-a-time (pool-break culprits unknown).
+        self.suspects: Deque[Tuple[RunRequest, int]] = deque()
+        #: Backoff heap: ``(ready_at, seq, request, attempt, isolated)``.
+        self.delayed: List[Tuple[float, int, RunRequest, int, bool]] = []
+        self._delay_seq = 0
+        self.futures: Dict[Future, _Flight] = {}
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.respawns = 0
+        self.aborted = False
+        self.env = env if env is not None else _WorkerEnv()
+        self._owns_env = env is None
+
+    @property
+    def telemetry(self):
+        return self.env.telemetry
+
+    @property
+    def ckpt_store(self) -> Optional[CheckpointStore]:
+        return self.env.ckpt_store
 
     # -- scheduling ----------------------------------------------------
 
@@ -304,8 +375,8 @@ class _PlanExecutor:
             raise
         finally:
             self._teardown_pool()
-            if self._spool_tmp is not None:
-                shutil.rmtree(self._spool_tmp, ignore_errors=True)
+            if self._owns_env:
+                self.env.cleanup()
 
     def _promote_delayed(self) -> None:
         now = time.monotonic()
@@ -335,19 +406,8 @@ class _PlanExecutor:
         deadline = None
         if self.policy.run_timeout_s is not None:
             deadline = time.monotonic() + self.policy.run_timeout_s
-        obs: Optional[Dict[str, object]] = None
-        if self.spool_dir is not None:
-            context = tracing.current_context()
-            obs = {
-                "spool_dir": self.spool_dir,
-                "sample_interval": self.telemetry.sample_interval,
-                "max_samples_per_series":
-                    self.telemetry.max_samples_per_series,
-                "parent_span_id":
-                    context.span_id if context is not None else None,
-            }
-        future = self.pool.submit(_worker_execute, request, obs,
-                                  self.ckpt_spec)
+        future = self.pool.submit(_worker_execute, request,
+                                  self.env.obs_spec(), self.env.ckpt_spec)
         self.futures[future] = _Flight(request, attempt, deadline, isolated)
 
     def _defer(self, request: RunRequest, attempt: int, delay: float,
@@ -396,27 +456,8 @@ class _PlanExecutor:
 
     def _deliver(self, flight: _Flight, result, worker_pid: int,
                  sidecar: Optional[str] = None) -> None:
-        key = flight.request.fingerprint
-        _SIM_CACHE[key] = result
-        if self.disk is not None:
-            self.disk.put(key, result)
-        record_cache_event(flight.request, "computed", worker=worker_pid,
-                           prefetch=True)
-        if self.telemetry is not None:
-            merged = False
-            if sidecar is not None:
-                try:
-                    payload = json.loads(Path(sidecar).read_text())
-                    self.telemetry.merge_worker_telemetry(payload,
-                                                          sidecar=sidecar)
-                    merged = True
-                except (OSError, ValueError, KeyError, TypeError) as exc:
-                    log.warning("discarding unreadable worker telemetry "
-                                "sidecar %s (%s: %s)", sidecar,
-                                type(exc).__name__, exc)
-            if not merged:
-                self.telemetry.record_external_run(result, worker=worker_pid)
-        self.summary["computed"] += 1
+        self.env.deliver(flight.request, result, worker_pid, sidecar,
+                         self.summary)
 
     def _checkpoint_progress(self, request: RunRequest) -> Optional[int]:
         """Writes completed by the run's newest capsule, or ``None``.
@@ -623,6 +664,13 @@ class _PlanExecutor:
         self._record_terminal(failure)
 
 
+#: Accepted values for ``execute_plan(batching=...)``: ``off`` keeps
+#: the per-run tier only, ``auto`` batches cohorts of two or more runs
+#: (singletons gain nothing from batching), ``force`` batches every
+#: cohort, including singletons.
+BATCHING_MODES = ("off", "auto", "force")
+
+
 def execute_plan(
     requests: Iterable[RunRequest],
     jobs: int = 1,
@@ -630,6 +678,7 @@ def execute_plan(
     max_pending: Optional[int] = None,
     policy: Optional[RetryPolicy] = None,
     force: bool = False,
+    batching: str = "off",
 ) -> Dict[str, object]:
     """Warm the run caches for ``requests`` using ``jobs`` workers.
 
@@ -651,10 +700,26 @@ def execute_plan(
     supervision (retries, watchdog, crash containment) regardless of
     parallelism.
 
+    ``batching`` engages the cohort tier (:mod:`repro.experiments.
+    batch`): structurally-identical runs execute together on one worker
+    so the expensive trace-generation pass is paid once per cohort
+    instead of once per run. ``auto`` batches cohorts of ≥ 2 runs,
+    ``force`` batches everything, ``off`` (the default) keeps today's
+    per-run execution. Results are byte-identical either way; a
+    batching mode other than ``off`` implies ``force`` (an explicit
+    batching request executes the plan even at ``jobs=1``). Cohort
+    supervision counters land in the summary as ``batch_cohorts`` /
+    ``batch_runs`` / ``batch_bisections`` / ``batch_fallbacks``.
+
     ``KeyboardInterrupt`` propagates after the pool is torn down and
     ``summary["interrupted"]`` is set — every already-computed result
     stays in the caches.
     """
+    if batching not in BATCHING_MODES:
+        raise ValueError(
+            f"unknown batching mode {batching!r}; choose from "
+            f"{BATCHING_MODES}"
+        )
     planned = list(requests)
     unique = dedupe_requests(planned)
     summary: Dict[str, object] = {
@@ -668,6 +733,10 @@ def execute_plan(
         "quarantined": 0,
         "timeouts": 0,
         "pool_respawns": 0,
+        "batch_cohorts": 0,
+        "batch_runs": 0,
+        "batch_bisections": 0,
+        "batch_fallbacks": 0,
         "interrupted": False,
         "failures": [],
     }
@@ -690,29 +759,45 @@ def execute_plan(
                 continue
         pending.append(request)
 
-    if not pending or (jobs <= 1 and not force):
+    if not pending or (jobs <= 1 and not force and batching == "off"):
         return summary
 
     jobs = max(jobs, 1)
+    policy = policy or RetryPolicy()
+    env = _WorkerEnv()
     n_workers = min(jobs, len(pending))
-    # Bound the submission queue so a huge plan doesn't hold every
-    # pickled config in flight at once.
-    window = max_pending if max_pending is not None else 4 * n_workers
     log.debug("prefetching %d runs on %d workers (%d memory hits, "
-              "%d disk hits)", len(pending), n_workers,
-              summary["memory"], summary["disk"])
-    executor = _PlanExecutor(pending, jobs, window,
-                             policy or RetryPolicy(), summary)
-    telemetry = executor.telemetry
-    if telemetry is not None:
-        with telemetry.tracer.span(
-            "plan.execute",
-            attrs={"pending": len(pending), "unique": len(unique),
-                   "jobs": n_workers},
-        ):
-            executor.run()
-    else:
-        executor.run()
+              "%d disk hits, batching=%s)", len(pending), n_workers,
+              summary["memory"], summary["disk"], batching)
+
+    def _execute(pending: List[RunRequest]) -> None:
+        if batching != "off":
+            from .batch import run_batched
+
+            pending = run_batched(pending, jobs=jobs, policy=policy,
+                                  summary=summary, mode=batching, env=env)
+        if not pending:
+            return
+        # Bound the submission queue so a huge plan doesn't hold every
+        # pickled config in flight at once.
+        window = (max_pending if max_pending is not None
+                  else 4 * min(jobs, len(pending)))
+        _PlanExecutor(pending, jobs, window, policy, summary,
+                      env=env).run()
+
+    telemetry = env.telemetry
+    try:
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "plan.execute",
+                attrs={"pending": len(pending), "unique": len(unique),
+                       "jobs": n_workers, "batching": batching},
+            ):
+                _execute(pending)
+        else:
+            _execute(pending)
+    finally:
+        env.cleanup()
     return summary
 
 
@@ -721,6 +806,8 @@ def plan_outcomes(
     jobs: int = 1,
     *,
     policy: Optional[RetryPolicy] = None,
+    batching: str = "off",
+    summary_out: Optional[Dict[str, object]] = None,
 ) -> Dict[str, Tuple[object, str]]:
     """Execute ``requests`` under full supervision and report each
     fingerprint's outcome as ``(result, source)``.
@@ -735,6 +822,11 @@ def plan_outcomes(
     satisfied from this process's memory cache, which for a cold
     service request is the same thing), or ``failed`` with the terminal
     failure message as the result.
+
+    ``batching`` is forwarded to :func:`execute_plan`; with a
+    ``summary_out`` dict the plan summary (including the
+    ``batch_*`` supervision counters) is copied into it so callers like
+    the service gateway can export them as metrics.
     """
     requests = list(requests)
     disk = active_disk_cache()
@@ -743,7 +835,10 @@ def plan_outcomes(
         for request in requests
         if disk is not None and request.fingerprint in disk
     }
-    execute_plan(requests, jobs=jobs, policy=policy, force=True)
+    summary = execute_plan(requests, jobs=jobs, policy=policy, force=True,
+                           batching=batching)
+    if summary_out is not None:
+        summary_out.update(summary)
     failures = failed_runs()
     outcomes: Dict[str, Tuple[object, str]] = {}
     for request in requests:

@@ -30,6 +30,7 @@ are recorded alongside for cache forensics.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import replace
 from pathlib import Path
@@ -203,7 +204,8 @@ def corpus_scale(document: Dict) -> RunScale:
     )
 
 
-def select_spot_checks(document: Dict, count: int) -> List[Dict]:
+def select_spot_checks(document: Dict, count: int, *,
+                       seed: Optional[int] = None) -> List[Dict]:
     """A deterministic, experiment-diverse sample of corpus entries.
 
     Entries are ranked by their result fingerprint (stable across
@@ -211,9 +213,19 @@ def select_spot_checks(document: Dict, count: int) -> List[Dict]:
     no experiment is sampled twice until every experiment that plans
     runs has been covered once — a cheap tier-1 test still touches many
     subsystems.
+
+    With a ``seed`` the ranking key is salted (``sha256(seed:
+    fingerprint)``), so callers — CI spot-check jobs in particular —
+    can rotate *which* entries get sampled while staying fully
+    reproducible for a given seed.
     """
-    ranked = sorted(document["runs"],
-                    key=lambda e: str(e["result_fingerprint"]))
+    if seed is None:
+        rank = lambda e: str(e["result_fingerprint"])  # noqa: E731
+    else:
+        def rank(e: Dict) -> str:
+            salted = f"{seed}:{e['result_fingerprint']}"
+            return hashlib.sha256(salted.encode("utf-8")).hexdigest()
+    ranked = sorted(document["runs"], key=rank)
     picked: List[Dict] = []
     seen_experiments: set = set()
     for entry in ranked:
@@ -289,16 +301,21 @@ def verify_entries(document: Dict, entries: Sequence[Dict], *,
 
 
 def verify_corpus(document: Dict, *, sample: Optional[int] = None,
+                  sample_seed: Optional[int] = None,
                   kernels: Optional[Sequence[str]] = None,
                   progress: Optional[Callable[[str], None]] = None,
                   ) -> List[str]:
     """Conformance-check the corpus: all entries (plus coverage — every
     currently-planned run must be in the corpus), or a deterministic
-    ``sample`` of entries. Returns drift messages (empty = conformant).
+    ``sample`` of entries (optionally salted by ``sample_seed``; see
+    :func:`select_spot_checks`). Returns drift messages (empty =
+    conformant).
     """
     if sample is not None:
-        return verify_entries(document, select_spot_checks(document, sample),
-                              kernels=kernels, progress=progress)
+        return verify_entries(
+            document,
+            select_spot_checks(document, sample, seed=sample_seed),
+            kernels=kernels, progress=progress)
     drifts = verify_entries(document, document["runs"], kernels=kernels,
                             progress=progress)
     recorded = {_entry_key(entry) for entry in document["runs"]}

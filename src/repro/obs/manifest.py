@@ -88,7 +88,11 @@ from typing import Dict, Iterable, List, Optional, Union
 #: spawn/respawn/down/dead/breaker_open/breaker_close/routed/failover/
 #: stranded/poisoned, replica name, fingerprint, detail) — plus the
 #: ``fleet`` block inside ``service_state``.
-MANIFEST_SCHEMA_VERSION = 7
+#: v8: ``batch_cohort`` records — one per batched-execution cohort
+#: event (``action`` executed/bisect/fallback, cohort key, size,
+#: delivered count, detail) — plus the ``batch_*`` counters inside
+#: ``plan_summary``.
+MANIFEST_SCHEMA_VERSION = 8
 
 
 def _jsonable(value):

@@ -394,6 +394,24 @@ class Telemetry:
             "error": error,
         })
 
+    def record_batch_cohort(self, *, action: str, key: str, size: int,
+                            delivered: Optional[int] = None,
+                            detail: Optional[str] = None) -> None:
+        """Record one batched-execution cohort event (manifest
+        ``batch_cohort`` record, schema v8). ``action`` is ``executed``
+        (the cohort ran on one worker; ``delivered`` of ``size`` runs
+        produced results), ``bisect`` (the cohort's worker died or hung,
+        so it was split in half for retry) or ``fallback`` (its runs
+        were handed back to the per-run execution tier)."""
+        self.resilience_events.append({
+            "type": "batch_cohort",
+            "action": action,
+            "key": key,
+            "size": size,
+            "delivered": delivered,
+            "detail": detail,
+        })
+
     def record_checkpoint(self, *, action: str, fingerprint: str,
                           writes_done: Optional[int] = None,
                           cycle: Optional[int] = None,

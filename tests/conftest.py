@@ -1,4 +1,14 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Beyond the tiny configs, this hosts the process-state isolation
+machinery every integration suite (and ``benchmarks/conftest.py``)
+used to hand-roll: the experiment layer keeps process-wide state —
+in-memory run cache, disk-cache/telemetry/checkpoint installations,
+failed-run registry, fault plan — and a test that leaks any of it
+poisons its neighbours. Suites request :func:`isolated_run_state`
+(usually via a module-local ``autouse`` wrapper) and, when they need a
+real on-disk cache, :func:`tmp_sim_cache`.
+"""
 
 from __future__ import annotations
 
@@ -14,6 +24,50 @@ from repro.config.system import (
     PowerConfig,
     SystemConfig,
 )
+from repro.experiments.base import (
+    clear_failed_runs,
+    clear_sim_cache,
+    use_checkpoints,
+    use_disk_cache,
+    use_telemetry,
+)
+from repro.sim.simcache import SimCache
+from repro.testing.faults import ENV_VAR as FAULTS_ENV_VAR
+from repro.testing.faults import clear_faults
+
+
+def reset_run_state() -> None:
+    """Return every piece of process-wide experiment-layer state to its
+    pristine default: no fault plan, empty in-memory run cache, no
+    failed-run verdicts, and no disk cache / telemetry / checkpoint
+    installation. Call on both sides of anything that mutates them."""
+    clear_faults()
+    clear_sim_cache()
+    clear_failed_runs()
+    use_disk_cache(None)
+    use_telemetry(None)
+    use_checkpoints(None)
+
+
+@pytest.fixture
+def isolated_run_state(monkeypatch):
+    """Pristine process-wide run state before *and* after the test,
+    with any inherited ``REPRO_FAULTS`` plan scrubbed from the
+    environment (it would otherwise reach forked engine workers)."""
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    reset_run_state()
+    yield
+    reset_run_state()
+
+
+@pytest.fixture
+def tmp_sim_cache(tmp_path) -> SimCache:
+    """A fresh on-disk :class:`SimCache` under this test's tmp dir,
+    installed process-wide for the duration of the test."""
+    cache = SimCache(tmp_path / "cache")
+    use_disk_cache(cache)
+    yield cache
+    use_disk_cache(None)
 
 
 def make_tiny_config(seed: int = 1, **overrides) -> SystemConfig:

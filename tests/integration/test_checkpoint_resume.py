@@ -25,7 +25,6 @@ from repro.experiments.base import (
     RunRequest,
     RunScale,
     _SIM_CACHE,
-    clear_failed_runs,
     clear_sim_cache,
     use_checkpoints,
     use_disk_cache,
@@ -54,21 +53,8 @@ CORPUS_PATH = Path(__file__).parent.parent / "paper" / \
 
 
 @pytest.fixture(autouse=True)
-def isolated(monkeypatch):
-    monkeypatch.delenv(ENV_VAR, raising=False)
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
-    use_checkpoints(None)
-    use_telemetry(None)
+def isolated(isolated_run_state):
     yield
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
-    use_checkpoints(None)
-    use_telemetry(None)
 
 
 def result_bytes(result):

@@ -51,17 +51,8 @@ MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
 
 
 @pytest.fixture(autouse=True)
-def isolated(monkeypatch):
-    monkeypatch.delenv(ENV_VAR, raising=False)
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
+def isolated(isolated_run_state):
     yield
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
 
 
 def micro_plan(config):

@@ -32,16 +32,11 @@ import time
 
 import pytest
 
-from repro.experiments.base import (
-    clear_failed_runs,
-    clear_sim_cache,
-    use_disk_cache,
-)
 from repro.experiments.resilience import RetryPolicy
 from repro.service.fleet import DEAD, FleetConfig
 from repro.service.schemas import SimRequest
 from repro.service.testing import GatewayHarness
-from repro.testing.faults import ENV_VAR, clear_faults
+from repro.testing.faults import ENV_VAR
 
 from .test_service_gateway import (
     raw_request,
@@ -54,17 +49,8 @@ WAITERS = 4
 
 
 @pytest.fixture(autouse=True)
-def isolated(monkeypatch):
-    monkeypatch.delenv(ENV_VAR, raising=False)
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
+def isolated(isolated_run_state):
     yield
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
 
 
 def fingerprint_of(fields) -> str:

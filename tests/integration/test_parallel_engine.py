@@ -31,12 +31,10 @@ MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
 
 
 @pytest.fixture(autouse=True)
-def isolated_caches():
-    clear_sim_cache()
-    use_disk_cache(None)
+def isolated_caches(isolated_run_state):
+    """Every test starts and ends with pristine process-wide run
+    state (shared machinery in tests/conftest.py)."""
     yield
-    clear_sim_cache()
-    use_disk_cache(None)
 
 
 def run_serial(config):

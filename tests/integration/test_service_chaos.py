@@ -22,11 +22,6 @@ import json
 
 import pytest
 
-from repro.experiments.base import (
-    clear_failed_runs,
-    clear_sim_cache,
-    use_disk_cache,
-)
 from repro.experiments.resilience import RetryPolicy
 from repro.service.schemas import SimRequest
 from repro.service.testing import GatewayHarness
@@ -39,17 +34,8 @@ WAITERS = 5
 
 
 @pytest.fixture(autouse=True)
-def isolated(monkeypatch):
-    monkeypatch.delenv(ENV_VAR, raising=False)
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
+def isolated(isolated_run_state):
     yield
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
 
 
 def fingerprint_of(fields) -> str:

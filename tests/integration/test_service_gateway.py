@@ -32,16 +32,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.base import (
-    clear_failed_runs,
-    clear_sim_cache,
-    use_disk_cache,
-)
-from repro.experiments.base import _SIM_CACHE, fetch
+from repro.experiments.base import _SIM_CACHE, clear_sim_cache, fetch
 from repro.service.client import GatewayClient
 from repro.service.schemas import InvalidRequestError, SimRequest, SimResponse
 from repro.service.testing import GatewayHarness
-from repro.testing.faults import ENV_VAR, clear_faults
+from repro.testing.faults import ENV_VAR
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -59,17 +54,8 @@ COMBOS = [
 
 
 @pytest.fixture(autouse=True)
-def isolated(monkeypatch):
-    monkeypatch.delenv(ENV_VAR, raising=False)
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
+def isolated(isolated_run_state):
     yield
-    clear_faults()
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
 
 
 def run_fields(workload: str, scheme: str, **scale_fields):

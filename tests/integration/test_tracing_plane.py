@@ -21,13 +21,7 @@ import time
 
 import pytest
 
-from repro.experiments.base import (
-    RunScale,
-    clear_failed_runs,
-    clear_sim_cache,
-    use_disk_cache,
-    use_telemetry,
-)
+from repro.experiments.base import RunScale, clear_sim_cache, use_telemetry
 from repro.experiments.engine import execute_plan
 from repro.experiments.fig17_mr_split import Fig17MRSplit
 from repro.obs import Telemetry, read_manifest
@@ -45,16 +39,8 @@ MICRO_FIELDS = {"scale": "quick", "n_pcm_writes": 40,
 
 
 @pytest.fixture(autouse=True)
-def isolated():
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
-    use_telemetry(None)
+def isolated(isolated_run_state):
     yield
-    clear_sim_cache()
-    clear_failed_runs()
-    use_disk_cache(None)
-    use_telemetry(None)
 
 
 def test_jobs2_plan_yields_one_merged_correlated_trace(tmp_path):

@@ -102,6 +102,21 @@ def test_spot_checks_are_deterministic_and_diverse(corpus):
             assert not (a & b), "spot checks should spread experiments"
 
 
+def test_spot_checks_honor_an_explicit_seed(corpus):
+    """CI spot-checks are reproducible: the same seed always picks the
+    same sample, different seeds rank differently, and the unseeded
+    path keeps its legacy ranking."""
+    seeded = golden.select_spot_checks(corpus, SPOT_CHECKS, seed=7)
+    again = golden.select_spot_checks(corpus, SPOT_CHECKS, seed=7)
+    assert seeded == again
+    assert len(seeded) == SPOT_CHECKS
+    other = golden.select_spot_checks(corpus, SPOT_CHECKS, seed=8)
+    assert seeded != other  # astronomically unlikely to collide
+    legacy = golden.select_spot_checks(corpus, SPOT_CHECKS)
+    assert legacy == golden.select_spot_checks(corpus, SPOT_CHECKS,
+                                               seed=None)
+
+
 def test_spot_check_fingerprints_match(corpus):
     """Recompute a deterministic sample on every kernel; any drift
     fails with the bump-and-regenerate instruction."""
