@@ -19,8 +19,12 @@ sides of a pair run the same inputs on the same host.
 Usage::
 
     pytest benchmarks/test_bench_kernel.py benchmarks/test_bench_sweeps.py \\
-        --benchmark-only
+        benchmarks/test_bench_explore.py --benchmark-only
     python benchmarks/check_regression.py
+
+The two plan-pair files must run in one pytest invocation: only the
+latest session's ``bench_plan`` records are paired, so splitting them
+makes the earlier session's pairs read as "not run".
 """
 
 from __future__ import annotations

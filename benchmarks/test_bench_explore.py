@@ -1,0 +1,78 @@
+"""Benchmark pair for the design-space exploration engine.
+
+One cold exploration generation is, to the execution tier, a cold-miss
+storm: every point is a distinct fingerprint, all submitted at once.
+The pair runs the same 12-point exploration once through the per-run
+engine and once through the batched tier (``--batching force``) —
+every point here shares one trace structure, so batching generates the
+trace once instead of once per worker. ``check_regression.py`` pairs
+the timings by name and gates the ratio against
+``plan_speedups``/``plan_floors`` in ``BENCH_baseline.json``, next to
+the ``token_sweep_storm`` pair (docs/exploration.md#performance).
+"""
+
+import shutil
+
+import pytest
+
+from repro.experiments.base import RunScale, clear_sim_cache
+from repro.explore import Axis, ExploreSession, ExploreSettings, SearchSpace
+from repro.trace.generator import clear_trace_cache
+
+from .conftest import bench_config, record_plan_bench
+
+#: One trace-heavy workload; 60 writes matches the storm pair's scale.
+EXPLORE_SCALE = RunScale("bench", 60, 12_000, ("cop_m",))
+
+
+def explore_settings(batching: str) -> ExploreSettings:
+    """A 12-point grid sweeping only power scalars and scheme knobs —
+    one shared trace structure, so the batched tier lowers the whole
+    generation into a single cohort."""
+    space = SearchSpace(name="bench", axes=(
+        Axis("dimm_tokens", values=(466.0, 532.0, 598.0)),
+        Axis("gcp_efficiency", values=(0.5, 0.85)),
+        Axis("mr_splits", values=(1, 3)),
+    ))
+    return ExploreSettings(
+        space=space, strategy="grid", budget_points=12, seed=1,
+        workload="cop_m", scheme="fpb", scale=EXPLORE_SCALE,
+        jobs=12, batching=batching,
+    )
+
+
+def run_explore(batching: str, journal_dir):
+    """Cold exploration: both caches and the journal dropped before the
+    pool forks so per-round timings always include trace construction."""
+    clear_sim_cache()
+    clear_trace_cache()
+    shutil.rmtree(journal_dir, ignore_errors=True)
+    session = ExploreSession(explore_settings(batching), bench_config(),
+                             journal_dir=journal_dir)
+    report = session.run()
+    assert report["counts"]["failed"] == 0
+    # The engine prefetch computes every point; the per-point loop then
+    # resolves them as memory hits, so they tally as "cached".
+    assert report["counts"]["cached"] + report["counts"]["computed"] == 12
+    return report
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    return tmp_path / "explore"
+
+
+def test_explore_storm_per_run(benchmark, journal_dir):
+    report = benchmark.pedantic(
+        run_explore, args=("off", journal_dir), rounds=2, iterations=1,
+    )
+    assert report["frontier"], "empty frontier"
+    record_plan_bench(benchmark, "explore_storm", "per_run")
+
+
+def test_explore_storm_batched(benchmark, journal_dir):
+    report = benchmark.pedantic(
+        run_explore, args=("force", journal_dir), rounds=2, iterations=1,
+    )
+    assert report["frontier"], "empty frontier"
+    record_plan_bench(benchmark, "explore_storm", "batched")

@@ -402,6 +402,16 @@ class SystemConfig:
         """Derive a config with a different GCP power efficiency."""
         return replace(self, power=replace(self.power, gcp_efficiency=efficiency))
 
+    def with_lcp_efficiency(self, efficiency: float) -> "SystemConfig":
+        """Derive a config with a different local charge-pump
+        efficiency (Eq. 4; an exploration axis)."""
+        return replace(self, power=replace(self.power, lcp_efficiency=efficiency))
+
+    def with_chip_budget_scale(self, scale: float) -> "SystemConfig":
+        """Derive a config with a scaled per-chip power budget (the
+        1.5x/2xLocal strawmen; an exploration axis)."""
+        return replace(self, power=replace(self.power, chip_budget_scale=scale))
+
     def with_mapping(self, mapping: str) -> "SystemConfig":
         """Derive a config with a different cell-to-chip mapping."""
         return replace(self, cell_mapping=mapping)

@@ -218,6 +218,95 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical with or without this; default: off)",
     )
 
+    explore = sub.add_parser(
+        "explore",
+        help="search the design space and report the Pareto frontier",
+        parents=[verbosity],
+    )
+    explore.add_argument(
+        "--space", default="demo3", metavar="NAME|FILE",
+        help="search space: a built-in name (see docs/exploration.md) "
+             "or a path to a JSON space definition (default demo3: "
+             "budget x GCP efficiency x Multi-RESET, 60 grid points)",
+    )
+    explore.add_argument(
+        "--strategy", choices=("grid", "random", "adaptive"),
+        default="grid",
+        help="point-selection strategy; all are deterministic given "
+             "(space, strategy, seed) (default grid)",
+    )
+    explore.add_argument(
+        "--budget-points", type=_positive_int, default=60, metavar="N",
+        help="total points to evaluate (default 60)",
+    )
+    explore.add_argument("--seed", type=int, default=1,
+                         help="strategy sampling seed (default 1)")
+    explore.add_argument(
+        "--workload", default="mix_1",
+        help="workload trace each point simulates (default mix_1)",
+    )
+    explore.add_argument(
+        "--scheme", default="fpb",
+        help="base power-budgeting scheme; scheme axes (gcp_efficiency/"
+             "mr_splits/mapping) recompose it per point (default fpb)",
+    )
+    explore.add_argument(
+        "--scale", choices=sorted(SCALES), default=QUICK.name,
+        help="simulation size per point (default quick)",
+    )
+    explore.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="simulation kernel (results are identical, only speed "
+             "differs; default: config default)",
+    )
+    explore.add_argument(
+        "--jobs", type=_jobs, default=1, metavar="N",
+        help="worker processes per generation (default 1 = serial; "
+             "0 = one per CPU)",
+    )
+    explore.add_argument(
+        "--batching", choices=BATCHING_MODES, default="off",
+        help="batch each generation's cold runs into structure-sharing "
+             "cohorts (results are byte-identical; default off)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="restore already-evaluated points from the session journal "
+             "(found by the deterministic session id) instead of "
+             "starting fresh",
+    )
+    explore.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("results/explore"),
+        metavar="DIR",
+        help="report directory: <space>-<strategy>-<seed>.json (full), "
+             ".frontier.json + .md (deterministic frontier) "
+             "(default results/explore/)",
+    )
+    explore.add_argument(
+        "--cache-dir", type=pathlib.Path,
+        default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+        help="on-disk run cache directory; session journals live under "
+             "<cache-dir>/explore/ (default .simcache/)",
+    )
+    explore.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk run cache (journals then live under "
+             "<out>/journal/)",
+    )
+    explore.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a JSON-lines manifest with explore_point/"
+             "explore_frontier records (schema v9)",
+    )
+    explore.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget on worker processes",
+    )
+    explore.add_argument(
+        "--retries", type=_non_negative_int, default=2, metavar="N",
+        help="retries per transiently-failing run (default 2)",
+    )
+
     golden = sub.add_parser(
         "golden",
         help="regenerate or verify the golden-fingerprint corpus",
@@ -429,6 +518,125 @@ def _run_one(exp_id: str, scale: RunScale, config: SystemConfig,
     return text, len(issues)
 
 
+def _explore_main(args) -> int:
+    """``explore``: search the design space, report the frontier."""
+    import json
+
+    from ..explore import (
+        ExploreError,
+        ExploreSession,
+        ExploreSettings,
+        frontier_markdown,
+        frontier_report,
+        named_spaces,
+        space_from_dict,
+    )
+
+    try:
+        spaces = named_spaces()
+        if args.space in spaces:
+            space = spaces[args.space]
+        elif pathlib.Path(args.space).is_file():
+            space = space_from_dict(
+                json.loads(pathlib.Path(args.space).read_text()))
+        else:
+            log.error("unknown space %r: not a built-in (%s) and not a "
+                      "JSON file", args.space, ", ".join(sorted(spaces)))
+            return EXIT_FAILURE
+    except (ExploreError, json.JSONDecodeError, OSError) as exc:
+        log.error("bad space definition %r: %s", args.space, exc)
+        return EXIT_FAILURE
+
+    telemetry = None
+    if args.metrics_out is not None:
+        from ..obs import Telemetry
+        telemetry = Telemetry()
+        use_telemetry(telemetry)
+    cache = None
+    if not args.no_cache:
+        cache = SimCache(args.cache_dir)
+        use_disk_cache(cache)
+    journal_dir = ((args.cache_dir if cache is not None else args.out)
+                   / "explore")
+
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         run_timeout_s=args.timeout)
+    base_config = baseline_config(seed=1)
+    if args.kernel is not None and args.kernel != base_config.kernel:
+        base_config = base_config.with_kernel(args.kernel)
+
+    exit_code = EXIT_OK
+    wall_start = time.monotonic()
+    try:
+        settings = ExploreSettings(
+            space=space,
+            strategy=args.strategy,
+            budget_points=args.budget_points,
+            seed=args.seed,
+            workload=args.workload,
+            scheme=args.scheme,
+            scale=SCALES[args.scale],
+            jobs=args.jobs,
+            batching=args.batching,
+        )
+        session = ExploreSession(
+            settings, base_config, policy=policy,
+            journal_dir=journal_dir, telemetry=telemetry,
+            registry=telemetry.registry if telemetry else None,
+        )
+        log.info("explore: space %s (%s), strategy %s, budget %d, "
+                 "seed %d — session %s%s",
+                 space.name, space.fingerprint()[:12], args.strategy,
+                 args.budget_points, args.seed, session.session_id[:12],
+                 " (resuming)" if args.resume else "")
+        report = session.run(resume=args.resume)
+    except ExploreError as exc:
+        log.error("explore failed: %s", exc)
+        return EXIT_FAILURE
+    except KeyboardInterrupt:
+        log.error("interrupted — evaluated points are journaled; rerun "
+                  "with --resume to continue this session")
+        return EXIT_INTERRUPTED
+    finally:
+        use_telemetry(None)
+        use_disk_cache(None)
+        if telemetry is not None and args.metrics_out is not None:
+            telemetry.write_manifest(
+                args.metrics_out,
+                base_config,
+                seed=args.seed,
+                scale=args.scale,
+                explore_space=space.name,
+                explore_strategy=args.strategy,
+                wall_time_s=time.monotonic() - wall_start,
+                cache=cache.snapshot() if cache is not None else None,
+            )
+            log.info("wrote run manifest: %s", args.metrics_out)
+
+    counts = report["counts"]
+    log.info("explore: %d point(s) — %d computed, %d cached, "
+             "%d restored, %d failed; frontier size %d",
+             counts["evaluated"], counts["computed"], counts["cached"],
+             counts["restored"], counts["failed"],
+             len(report["frontier"]))
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    stem = f"{space.name}-{args.strategy}-{args.seed}"
+    frontier = frontier_report(report)
+    (args.out / f"{stem}.json").write_text(
+        json.dumps(report, sort_keys=True, indent=2) + "\n")
+    (args.out / f"{stem}.frontier.json").write_text(
+        json.dumps(frontier, sort_keys=True, indent=2) + "\n")
+    (args.out / f"{stem}.md").write_text(frontier_markdown(frontier))
+    log.info("wrote %s{.json,.frontier.json,.md}", args.out / stem)
+
+    if counts["failed"]:
+        log.error("explore: %d point(s) failed permanently",
+                  counts["failed"])
+        return EXIT_FAILURE
+    return exit_code
+
+
 def _golden_main(args) -> int:
     """``golden``: regenerate or verify the conformance corpus."""
     from . import golden
@@ -576,6 +784,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             exp = get_experiment(exp_id)
             log.info("%-6s %s", exp_id, exp.title)
         return 0
+    if args.command == "explore":
+        return _explore_main(args)
     if args.command == "golden":
         return _golden_main(args)
     if args.command == "checkpoints":

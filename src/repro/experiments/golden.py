@@ -30,7 +30,6 @@ are recorded alongside for cache forensics.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import replace
 from pathlib import Path
@@ -41,6 +40,7 @@ from ..config.system import config_fingerprint
 from ..kernel import available_kernels
 from ..obs.logging import get_logger
 from ..sim.simcache import SIM_SCHEMA_VERSION
+from ..util.seeds import derive_key
 from .base import QUICK, SCALES, RunRequest, RunScale, fetch
 from .registry import available_experiments, get_experiment
 
@@ -214,8 +214,9 @@ def select_spot_checks(document: Dict, count: int, *,
     runs has been covered once — a cheap tier-1 test still touches many
     subsystems.
 
-    With a ``seed`` the ranking key is salted (``sha256(seed:
-    fingerprint)``), so callers — CI spot-check jobs in particular —
+    With a ``seed`` the ranking key is salted
+    (:func:`repro.util.seeds.derive_key` over ``(seed, fingerprint)``,
+    i.e. ``sha256("seed:fingerprint")``), so callers — CI spot-check jobs in particular —
     can rotate *which* entries get sampled while staying fully
     reproducible for a given seed.
     """
@@ -223,8 +224,7 @@ def select_spot_checks(document: Dict, count: int, *,
         rank = lambda e: str(e["result_fingerprint"])  # noqa: E731
     else:
         def rank(e: Dict) -> str:
-            salted = f"{seed}:{e['result_fingerprint']}"
-            return hashlib.sha256(salted.encode("utf-8")).hexdigest()
+            return derive_key(seed, e["result_fingerprint"])
     ranked = sorted(document["runs"], key=rank)
     picked: List[Dict] = []
     seen_experiments: set = set()

@@ -21,12 +21,12 @@ supervision — pure, deterministic, and testable without a process pool:
 
 from __future__ import annotations
 
-import hashlib
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import WorkerTimeoutError
+from ..util.seeds import derive_fraction
 
 #: Failure classes.
 TRANSIENT = "transient"
@@ -114,19 +114,17 @@ def backoff_delay(fingerprint: str, attempt: int,
     """Delay before retry number ``attempt`` (1-based: the delay after
     the first failure is ``attempt=1``).
 
-    Deterministic jitter: the fractional part comes from hashing
-    ``fingerprint:attempt``, so concurrent retries of different runs
-    spread out, while re-running the same plan reproduces the exact
-    same schedule.
+    Deterministic jitter: the fractional part comes from
+    :func:`repro.util.seeds.derive_fraction` over ``(fingerprint,
+    attempt)``, so concurrent retries of different runs spread out,
+    while re-running the same plan reproduces the exact same schedule.
     """
     if attempt < 1:
         raise ValueError(f"attempt is 1-based, got {attempt}")
     base = min(policy.backoff_base_s * (2 ** (attempt - 1)),
                policy.backoff_cap_s)
-    digest = hashlib.sha256(
-        f"{fingerprint}:{attempt}".encode("utf-8")).digest()
-    fraction = int.from_bytes(digest[:8], "big") / float(2 ** 64)
-    return base * (1.0 + policy.jitter * fraction)
+    return base * (1.0 + policy.jitter * derive_fraction(fingerprint,
+                                                         attempt))
 
 
 @dataclass

@@ -1,0 +1,193 @@
+"""Search strategies over a :class:`~repro.explore.space.SearchSpace`.
+
+All three strategies present the same generator interface: the session
+asks for :meth:`Strategy.generations`, evaluates each yielded batch of
+points through the ordinary run machinery, and feeds the scored batch
+plus the current Pareto frontier back through :meth:`Strategy.observe`.
+
+Determinism contract: every strategy's full point sequence is a pure
+function of ``(space, budget, seed)`` — RNG state is seeded from
+:func:`repro.util.seeds.derive_seed` over the space fingerprint, the
+strategy name and the user seed, and sampling draws only
+``Random.random()`` (whose float stream is stable across CPython
+versions, unlike the integer helpers). Evaluation results are
+themselves deterministic, so ``adaptive`` stays reproducible even
+though it reacts to them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..util.seeds import derive_seed
+from .space import Axis, ExploreError, Point, SearchSpace
+
+#: Registered strategy names, in documentation order.
+STRATEGIES: Tuple[str, ...] = ("grid", "random", "adaptive")
+
+
+class Strategy:
+    """Deterministic point-sequence source for one exploration."""
+
+    name = "strategy"
+
+    def __init__(self, space: SearchSpace, budget: int, seed: int):
+        if budget < 1:
+            raise ExploreError(f"budget_points must be >= 1, got {budget}")
+        self.space = space
+        self.budget = budget
+        self.seed = seed
+        self._rnd = random.Random(
+            derive_seed("explore.strategy", self.name,
+                        space.fingerprint(), seed))
+
+    def generations(self) -> Iterator[List[Point]]:
+        """Yield successive batches of points, ``budget`` in total."""
+        raise NotImplementedError
+
+    def observe(self, evaluated: Sequence[Dict[str, object]],
+                frontier: Sequence[Dict[str, object]]) -> None:
+        """Feedback hook after each generation (default: ignore)."""
+
+    # -- shared sampling helpers -------------------------------------
+
+    def _uniform_point(self) -> Point:
+        return self.space.sample_point(
+            self._rnd.random() for _ in self.space.axes)
+
+    def _sample_batch(self, count: int, seen: set) -> List[Point]:
+        """Up to ``count`` fresh uniform points; bounded retries keep
+        termination guaranteed on tiny (near-exhausted) spaces."""
+        batch: List[Point] = []
+        attempts = 0
+        while len(batch) < count and attempts < count * 64:
+            attempts += 1
+            point = self._uniform_point()
+            if point in seen:
+                continue
+            seen.add(point)
+            batch.append(point)
+        return batch
+
+
+class GridStrategy(Strategy):
+    """The space's full cartesian grid, truncated to the budget."""
+
+    name = "grid"
+
+    def generations(self) -> Iterator[List[Point]]:
+        yield list(itertools.islice(self.space.grid_points(),
+                                    self.budget))
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def generations(self) -> Iterator[List[Point]]:
+        yield self._sample_batch(self.budget, set())
+
+
+class AdaptiveStrategy(Strategy):
+    """Successive halving with local refinement near the frontier.
+
+    Generation 0 spends half the budget uniformly; each later
+    generation mutates points sampled from the current Pareto frontier,
+    with a neighborhood that halves every round (continuous axes move
+    by a shrinking fraction of their span; discrete axes hop a
+    shrinking number of grid steps). Frontier feedback arrives through
+    :meth:`observe` between generations.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, space: SearchSpace, budget: int, seed: int):
+        super().__init__(space, budget, seed)
+        self._frontier_points: List[Point] = []
+
+    def generations(self) -> Iterator[List[Point]]:
+        seen: set = set()
+        first = max(1, self.budget // 2)
+        batch = self._sample_batch(first, seen)
+        spent = len(batch)
+        yield batch
+        round_no = 0
+        while spent < self.budget:
+            round_no += 1
+            want = min(max(1, self.budget // 4), self.budget - spent)
+            batch = self._refine_batch(want, seen, 0.5 ** round_no)
+            if not batch:
+                break
+            spent += len(batch)
+            yield batch
+
+    def observe(self, evaluated, frontier) -> None:
+        self._frontier_points = [
+            tuple(sorted(entry["point"].items()))
+            if isinstance(entry["point"], dict) else entry["point"]
+            for entry in frontier
+        ]
+
+    def _refine_batch(self, count: int, seen: set,
+                      radius: float) -> List[Point]:
+        if not self._frontier_points:
+            return self._sample_batch(count, seen)
+        batch: List[Point] = []
+        attempts = 0
+        while len(batch) < count and attempts < count * 64:
+            attempts += 1
+            parent = self._frontier_points[
+                min(int(self._rnd.random() * len(self._frontier_points)),
+                    len(self._frontier_points) - 1)]
+            point = self._mutate(dict(parent), radius)
+            if point in seen:
+                continue
+            seen.add(point)
+            batch.append(point)
+        if not batch:
+            # Neighborhood exhausted — fall back to uniform exploration.
+            return self._sample_batch(count, seen)
+        return batch
+
+    def _mutate(self, parent: Dict[str, object], radius: float) -> Point:
+        out = []
+        for axis in self.space.axes:
+            value = parent.get(axis.param, axis.grid()[0])
+            if self._rnd.random() < 0.5:
+                out.append((axis.param, value))
+                continue
+            out.append((axis.param, self._neighbor(axis, value, radius)))
+        return tuple(out)
+
+    def _neighbor(self, axis: Axis, value, radius: float):
+        if axis.continuous:
+            span = (axis.high - axis.low) * radius
+            moved = value + (self._rnd.random() * 2.0 - 1.0) * span
+            return min(max(moved, axis.low), axis.high)
+        grid = axis.grid()
+        if value in grid:
+            idx = grid.index(value)
+        else:
+            idx = min(int(self._rnd.random() * len(grid)), len(grid) - 1)
+        hop = max(1, int(len(grid) * radius / 2))
+        step = int(self._rnd.random() * (2 * hop + 1)) - hop
+        return grid[min(max(idx + step, 0), len(grid) - 1)]
+
+
+def make_strategy(name: str, space: SearchSpace, budget: int,
+                  seed: int) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    classes = {
+        "grid": GridStrategy,
+        "random": RandomStrategy,
+        "adaptive": AdaptiveStrategy,
+    }
+    cls = classes.get(name)
+    if cls is None:
+        raise ExploreError(
+            f"unknown strategy {name!r}; choose from {list(STRATEGIES)}"
+        )
+    return cls(space, budget, seed)

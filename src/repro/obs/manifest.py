@@ -58,6 +58,13 @@ actions, and action-specific detail — see :mod:`repro.service.fleet`).
 The gateway's ``service_state`` record gains a ``fleet`` block with
 per-replica breaker state, heartbeat age and restart counts.
 
+The exploration engine (v9) adds ``explore_point`` (one per evaluated
+design-space point: session id, run fingerprint, generation/index, the
+point's parameter values, composed scheme, acquisition ``source`` and
+objective vector or error) and ``explore_frontier`` (one per strategy
+generation: the Pareto frontier's size and member fingerprints) — see
+:mod:`repro.explore` and docs/exploration.md.
+
 See docs/observability.md and docs/service.md for the full schema.
 """
 
@@ -92,7 +99,13 @@ from typing import Dict, Iterable, List, Optional, Union
 #: event (``action`` executed/bisect/fallback, cohort key, size,
 #: delivered count, detail) — plus the ``batch_*`` counters inside
 #: ``plan_summary``.
-MANIFEST_SCHEMA_VERSION = 8
+#: v9: design-space exploration records — ``explore_point`` (one per
+#: evaluated point: session id, run fingerprint, generation, the point's
+#: parameter values, composed scheme, acquisition ``source``, objective
+#: vector or error) and ``explore_frontier`` (one Pareto-frontier
+#: snapshot per generation: session id, generation, size, member run
+#: fingerprints) — see :mod:`repro.explore` and docs/exploration.md.
+MANIFEST_SCHEMA_VERSION = 9
 
 
 def _jsonable(value):

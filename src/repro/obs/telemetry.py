@@ -412,6 +412,52 @@ class Telemetry:
             "detail": detail,
         })
 
+    def record_explore_point(self, *, session: str, run_fingerprint: str,
+                             generation: int, index: int,
+                             point: Dict[str, object], scheme: str,
+                             source: str,
+                             objectives: Optional[Dict[str, float]],
+                             error: Optional[str] = None) -> None:
+        """Record one evaluated exploration point (manifest
+        ``explore_point`` record, schema v9). ``source`` says how the
+        run was acquired (``memory``/``disk``/``computed``/``journal``
+        restore/``invalid`` lowering/``failed``). The record's
+        ``fingerprint`` field carries the *session* id so ``/watch``
+        streams keyed on it receive frontier progress; the run's own
+        content address is ``run_fingerprint``."""
+        record: Dict[str, object] = {
+            "type": "explore_point",
+            "fingerprint": session,
+            "session": session,
+            "run_fingerprint": run_fingerprint,
+            "generation": generation,
+            "index": index,
+            "point": point,
+            "scheme": scheme,
+            "source": source,
+            "objectives": objectives,
+            "error": error,
+        }
+        self.resilience_events.append(record)
+        self._emit("explore_point", record)
+
+    def record_explore_frontier(self, *, session: str, generation: int,
+                                size: int,
+                                points: List[str]) -> None:
+        """Record one Pareto-frontier snapshot after an exploration
+        generation (manifest ``explore_frontier`` record, schema v9);
+        ``points`` lists the frontier members' run fingerprints."""
+        record: Dict[str, object] = {
+            "type": "explore_frontier",
+            "fingerprint": session,
+            "session": session,
+            "generation": generation,
+            "size": size,
+            "points": points,
+        }
+        self.resilience_events.append(record)
+        self._emit("explore_frontier", record)
+
     def record_checkpoint(self, *, action: str, fingerprint: str,
                           writes_done: Optional[int] = None,
                           cycle: Optional[int] = None,

@@ -62,6 +62,7 @@ import json
 import signal
 import time
 import urllib.parse
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..experiments.base import (
@@ -89,6 +90,7 @@ from .fleet import Fleet, FleetConfig, REPLICA_FAILED, STRANDED
 from .schemas import (
     DrainingError,
     ExperimentRequest,
+    ExploreRequest,
     InvalidRequestError,
     MethodNotAllowedError,
     NotFoundError,
@@ -310,7 +312,20 @@ class Gateway:
             "/experiment": reg.histogram(
                 "service_request_wall_ms_experiment",
                 "POST /experiment wall time (ms)"),
+            "/explore": reg.histogram(
+                "service_request_wall_ms_explore",
+                "POST /explore wall time (ms)"),
         }
+        self._c_explore_requests = reg.counter(
+            "service_explore_requests",
+            "POST /explore exploration sessions served")
+        self._c_explore_points = reg.counter(
+            "service_explore_points",
+            "design-space points evaluated for /explore requests")
+        #: Explorations serialize: each one is a long multi-run job
+        #: sharing the engine and caches, so concurrent sessions would
+        #: only thrash the pool (clients watch progress via /watch).
+        self._explore_lock = asyncio.Lock()
         self._c_source = {
             "memory": reg.counter(
                 "service_runs_served_memory",
@@ -743,6 +758,45 @@ class Gateway:
             "planned_runs": {"total": len(plan), "by_source": sources},
         }
 
+    async def _handle_explore(self, body: object) -> Dict[str, object]:
+        from ..explore import ExploreError, ExploreSession, frontier_report
+
+        explore_request = ExploreRequest.from_wire(body)
+        if self.draining:
+            raise DrainingError("gateway is draining; not admitting "
+                                "new work")
+        settings = explore_request.settings
+        try:
+            session = ExploreSession(
+                settings,
+                policy=self.policy,
+                journal_dir=(Path(self.cache.root) / "explore"
+                             if self.cache is not None else None),
+                registry=self.registry,
+                telemetry=self.telemetry,
+                on_event=(self._on_telemetry_event
+                          if self.telemetry is None else None),
+            )
+        except ExploreError as exc:
+            raise InvalidRequestError(str(exc)) from None
+        self._c_explore_requests.inc()
+        with log_context(session=session.session_id[:12]), \
+                self.tracer.span(
+                    "service.explore", fingerprint=session.session_id,
+                    attrs={"path": "/explore",
+                           "space": settings.space.name,
+                           "strategy": settings.strategy}):
+            async with self._explore_lock:
+                # Resume semantics make a re-POST of the same settings
+                # idempotent: journaled points restore without re-entry.
+                report = await asyncio.to_thread(session.run, True)
+        counts = report["counts"]
+        self._c_explore_points.inc(counts["evaluated"])
+        self._publish(session.session_id, "explore_done",
+                      frontier_size=len(report["frontier"]),
+                      evaluated=counts["evaluated"])
+        return frontier_report(report) | {"counts": counts}
+
     def _handle_healthz(self) -> Dict[str, object]:
         return self.snapshot()
 
@@ -768,6 +822,7 @@ class Gateway:
                 "experiments": describe_experiments()}),
             "/run": ("POST", self._handle_run),
             "/experiment": ("POST", self._handle_experiment),
+            "/explore": ("POST", self._handle_explore),
         }
         route = routes.get(path)
         if route is None:
@@ -856,7 +911,7 @@ class Gateway:
             if by_path is not None:
                 by_path.observe(wall_ms)
             if self.telemetry is not None and record.get("path") in (
-                    "/run", "/experiment"):
+                    "/run", "/experiment", "/explore"):
                 self.telemetry.record_service_request(
                     method=str(record.get("method", "?")),
                     path=str(record.get("path", "?")),

@@ -249,6 +249,86 @@ class ExperimentRequest:
         return config
 
 
+#: Points a single /explore request may evaluate; generous for smoke
+#: explorations while keeping one request from monopolizing the gateway
+#: (larger searches belong on the CLI, where --resume also applies).
+MAX_BUDGET_POINTS = 128
+
+
+@dataclass(frozen=True)
+class ExploreRequest:
+    """A validated ``POST /explore`` body.
+
+    ``space`` is either a built-in space name or an inline JSON space
+    definition (the same schema ``--space FILE`` accepts on the CLI).
+    The request is normalized to :class:`repro.explore.ExploreSettings`,
+    whose deterministic session id keys journal resume and ``/watch``
+    streams.
+    """
+
+    settings: object  # repro.explore.ExploreSettings
+
+    FIELDS = ("space", "strategy", "budget_points", "seed", "workload",
+              "scheme", "scale", "n_pcm_writes", "max_refs_per_core")
+
+    @classmethod
+    def from_wire(cls, body: object) -> "ExploreRequest":
+        from ..explore import (
+            STRATEGIES,
+            ExploreError,
+            ExploreSettings,
+            named_spaces,
+            space_from_dict,
+        )
+
+        if not isinstance(body, Mapping):
+            raise InvalidRequestError(
+                "request body must be a JSON object")
+        _reject_unknown(body, cls.FIELDS)
+        raw_space = body.get("space")
+        try:
+            if isinstance(raw_space, str):
+                spaces = named_spaces()
+                if raw_space not in spaces:
+                    raise InvalidRequestError(
+                        f"field 'space' must name a built-in space "
+                        f"({sorted(spaces)}) or be an inline definition",
+                        field="space")
+                space = spaces[raw_space]
+            elif isinstance(raw_space, Mapping):
+                space = space_from_dict(dict(raw_space))
+            else:
+                raise InvalidRequestError(
+                    "field 'space' is required: a built-in name or an "
+                    "inline {name, axes} object", field="space")
+        except ExploreError as exc:
+            raise InvalidRequestError(
+                f"invalid space definition: {exc}", field="space"
+            ) from None
+        strategy = _typed(body, "strategy", str, default="grid",
+                          choices=set(STRATEGIES))
+        budget = _bounded(body, "budget_points",
+                          MAX_BUDGET_POINTS) or 16
+        seed = _typed(body, "seed", int, default=1)
+        if not 0 <= seed < 2 ** 32:
+            raise InvalidRequestError(
+                f"field 'seed' must be in [0, 2**32), got {seed}",
+                field="seed")
+        workload = _typed(body, "workload", str, default="mix_1",
+                          choices=set(ALL_WORKLOADS))
+        scheme = _typed(body, "scheme", str, default="fpb")
+        try:
+            settings = ExploreSettings(
+                space=space, strategy=strategy, budget_points=budget,
+                seed=seed, workload=workload, scheme=scheme,
+                scale=_scale_from(body),
+            )
+        except (ExploreError, ReproError) as exc:
+            raise InvalidRequestError(
+                f"invalid exploration settings: {exc}") from None
+        return cls(settings=settings)
+
+
 @dataclass
 class SimResponse:
     """The wire form of one resolved simulation run."""

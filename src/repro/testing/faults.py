@@ -47,6 +47,11 @@ point           fires from                            key
                 once per beat (``mode="error"``
                 suppresses the beat, simulating a
                 wedged or partitioned replica)
+``explore_point`` :class:`~repro.explore.session.     ``session:fingerprint``
+                ExploreSession`, before each point
+                is journaled/evaluated (kills an
+                exploration mid-session; the resume
+                tests replay from the journal)
 =============== ===================================== ==================
 
 Determinism: firing depends only on the plan and the sequence of

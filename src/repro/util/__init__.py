@@ -1,0 +1,3 @@
+"""Small shared utilities with no dependencies on the rest of the
+library (so every layer — config, experiments, explore, service — can
+use them without import cycles)."""

@@ -3,21 +3,25 @@ scale on the tiny system and produces well-formed results."""
 
 import pytest
 
-from repro.experiments.base import RunScale, clear_sim_cache
+from repro.experiments.base import RunScale
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.trace.generator import clear_trace_cache
 
-from ..conftest import make_tiny_config
+from ..conftest import make_tiny_config, reset_run_state
 
 MICRO = RunScale("micro", 40, 10_000, ("mcf_m", "tig_m"))
 
 
 @pytest.fixture(scope="module", autouse=True)
 def fresh_caches():
-    clear_sim_cache()
+    # Module-scoped on purpose: the micro-scale sim results are shared
+    # across this module's tests. reset_run_state() covers the whole
+    # process-wide surface (faults, failed runs, installations), not
+    # just the sim cache; the trace cache is extra, local to this suite.
+    reset_run_state()
     clear_trace_cache()
     yield
-    clear_sim_cache()
+    reset_run_state()
     clear_trace_cache()
 
 

@@ -17,14 +17,14 @@ import pytest
 from repro.config.system import config_fingerprint
 from repro.core.policies.base import PowerManager
 from repro.core.write_op import WriteOperation
-from repro.experiments.base import RunScale, clear_sim_cache
+from repro.experiments.base import RunScale
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.kernel import available_kernels
 from repro.pcm.dimm import DIMM
 from repro.sim.runner import run_simulation
 from repro.trace.generator import clear_trace_cache
 
-from ..conftest import make_figure5_config, make_tiny_config
+from ..conftest import make_figure5_config, make_tiny_config, reset_run_state
 
 MICRO = RunScale("micro", 40, 10_000, ("mcf_m", "tig_m"))
 
@@ -35,10 +35,12 @@ FIG5_APT_TRACE = [30, 15, 35, 36, 38, 49, 57, 70, 74, 80]
 
 @pytest.fixture(scope="module", autouse=True)
 def fresh_caches():
-    clear_sim_cache()
+    # Module-scoped on purpose: the differential sweep reuses sim
+    # results across tests. Shared reset + the suite-local trace cache.
+    reset_run_state()
     clear_trace_cache()
     yield
-    clear_sim_cache()
+    reset_run_state()
     clear_trace_cache()
 
 

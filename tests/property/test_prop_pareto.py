@@ -1,0 +1,137 @@
+"""Property tests: Pareto-frontier invariants for the explore layer.
+
+:func:`repro.explore.pareto.pareto_frontier` decides which design
+points an exploration reports, so its contract is checked against a
+structurally independent brute-force O(n^2) oracle over random small
+point sets:
+
+* every frontier member is non-dominated by every input point
+  (mutual non-domination within the frontier follows),
+* every non-frontier input is dominated by some frontier member (or is
+  an objective-vector duplicate of one),
+* the frontier — members and order — is invariant under input
+  permutation and duplicate insertion,
+* the frontier's objective-vector set equals the oracle's.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    MAXIMIZE,
+    MINIMIZE,
+    Objective,
+    dominates,
+    pareto_frontier,
+)
+
+#: Two- and three-objective mixes of senses.
+OBJECTIVE_SETS = [
+    DEFAULT_OBJECTIVES,
+    (Objective("a", MAXIMIZE), Objective("b", MAXIMIZE)),
+    (Objective("a", MINIMIZE), Objective("b", MAXIMIZE),
+     Objective("c", MINIMIZE)),
+]
+
+#: A small value pool makes objective-vector ties and duplicates likely,
+#: which is exactly where naive frontier implementations break.
+values = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0, 2.0])
+
+
+def points_for(objectives):
+    names = [obj.name for obj in objectives]
+    point = st.fixed_dictionaries({name: values for name in names})
+    return st.lists(point, min_size=0, max_size=24)
+
+
+def brute_force_frontier_vectors(points, objectives):
+    """The oracle: all-pairs dominance, as a set of objective tuples."""
+    frontier = set()
+    for cand in points:
+        if not any(dominates(other, cand, objectives)
+                   for other in points):
+            frontier.add(tuple(cand[obj.name] for obj in objectives))
+    return frontier
+
+
+def vector(point, objectives):
+    return tuple(point[obj.name] for obj in objectives)
+
+
+@st.composite
+def frontier_case(draw):
+    objectives = draw(st.sampled_from(OBJECTIVE_SETS))
+    points = draw(points_for(objectives))
+    return objectives, points
+
+
+@given(frontier_case())
+@settings(max_examples=200, deadline=None)
+def test_frontier_members_are_non_dominated(case):
+    objectives, points = case
+    frontier = pareto_frontier(points, objectives)
+    for member in frontier:
+        assert not any(dominates(p, member, objectives) for p in points)
+    # Mutual non-domination within the frontier is the special case.
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b, objectives)
+
+
+@given(frontier_case())
+@settings(max_examples=200, deadline=None)
+def test_dominated_points_have_a_dominating_frontier_member(case):
+    objectives, points = case
+    frontier = pareto_frontier(points, objectives)
+    frontier_vectors = {vector(m, objectives) for m in frontier}
+    for point in points:
+        if vector(point, objectives) in frontier_vectors:
+            continue  # an objective-vector duplicate of a member
+        assert any(dominates(member, point, objectives)
+                   for member in frontier), (
+            f"{point} excluded from the frontier but dominated by "
+            f"no member")
+
+
+@given(frontier_case(), st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_frontier_invariant_under_permutation_and_duplicates(case, rnd):
+    objectives, points = case
+    baseline = pareto_frontier(points, objectives)
+
+    shuffled = list(points)
+    rnd.shuffle(shuffled)
+    assert pareto_frontier(shuffled, objectives) == baseline
+
+    doubled = list(points)
+    for point in points:
+        doubled.insert(
+            min(int(rnd.random() * (len(doubled) + 1)), len(doubled)),
+            dict(point))
+    assert pareto_frontier(doubled, objectives) == baseline
+
+
+@given(frontier_case())
+@settings(max_examples=200, deadline=None)
+def test_frontier_agrees_with_brute_force_oracle(case):
+    objectives, points = case
+    frontier = pareto_frontier(points, objectives)
+    assert ({vector(m, objectives) for m in frontier}
+            == brute_force_frontier_vectors(points, objectives))
+    # One representative per distinct vector, canonically ordered.
+    vectors = [vector(m, objectives) for m in frontier]
+    assert len(vectors) == len(set(vectors))
+    signed = [tuple(-obj.signed(v) for obj, v in zip(objectives, vec))
+              for vec in vectors]
+    assert signed == sorted(signed)
+
+
+def test_tiebreak_picks_deterministic_representative():
+    objectives = (Objective("a", MAXIMIZE),)
+    points = [{"a": 1.0, "tag": tag} for tag in ("z", "m", "b")]
+    frontier = pareto_frontier(points, objectives,
+                               tiebreak=lambda p: p["tag"])
+    assert [p["tag"] for p in frontier] == ["b"]

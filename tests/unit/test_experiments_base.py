@@ -10,7 +10,6 @@ from repro.experiments.base import (
     ExperimentResult,
     RunScale,
     SCALES,
-    clear_sim_cache,
     gmean_of_column,
     sim,
     speedup_rows,
@@ -19,6 +18,11 @@ from repro.experiments.base import (
 from ..conftest import make_tiny_config
 
 MICRO = RunScale("micro", 30, 8_000, ("tig_m",))
+
+
+@pytest.fixture(autouse=True)
+def clean_state(isolated_run_state):
+    yield
 
 
 class TestScales:
@@ -66,21 +70,18 @@ class TestExperimentResult:
 
 class TestSimCache:
     def test_memoized(self):
-        clear_sim_cache()
         config = make_tiny_config()
         a = sim(config, "tig_m", "ideal", MICRO)
         b = sim(config, "tig_m", "ideal", MICRO)
         assert a is b
 
     def test_distinct_schemes_not_shared(self):
-        clear_sim_cache()
         config = make_tiny_config()
         a = sim(config, "tig_m", "ideal", MICRO)
         b = sim(config, "tig_m", "dimm+chip", MICRO)
         assert a is not b
 
     def test_config_knobs_in_key(self):
-        clear_sim_cache()
         config = make_tiny_config()
         a = sim(config, "tig_m", "fpb", MICRO)
         b = sim(config.with_dimm_tokens(466), "tig_m", "fpb", MICRO)
@@ -92,7 +93,6 @@ class TestSimCache:
         silently reused the first run's result."""
         from dataclasses import replace
 
-        clear_sim_cache()
         config = make_tiny_config()
         lowered = replace(
             config, power=replace(config.power, lcp_efficiency=0.80),
@@ -104,7 +104,6 @@ class TestSimCache:
 
 class TestSpeedupRows:
     def test_shape_and_gmean(self):
-        clear_sim_cache()
         config = make_tiny_config()
         rows = speedup_rows(
             config, MICRO, ["ideal", "dimm+chip"], baseline="dimm+chip",
@@ -114,7 +113,6 @@ class TestSpeedupRows:
         assert len(rows) == len(MICRO.workloads) + 1
 
     def test_throughput_metric(self):
-        clear_sim_cache()
         config = make_tiny_config()
         rows = speedup_rows(
             config, MICRO, ["ideal"], baseline="dimm+chip",

@@ -10,7 +10,7 @@ import asyncio
 
 import pytest
 
-from repro.experiments.base import _SIM_CACHE, cache_get, clear_sim_cache
+from repro.experiments.base import _SIM_CACHE, cache_get
 from repro.service.admission import (
     DEFAULT_RETRY_AFTER_CAP_S,
     DEFAULT_RUN_SECONDS,
@@ -22,10 +22,8 @@ from repro.service.coalescer import Coalescer
 
 
 @pytest.fixture(autouse=True)
-def clean_cache():
-    clear_sim_cache()
+def clean_state(isolated_run_state):
     yield
-    clear_sim_cache()
 
 
 class TestCacheGetLRU:
